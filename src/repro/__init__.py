@@ -1,0 +1,35 @@
+"""repro: a reproduction of "The Semantics of Transactions and Weak
+Memory in x86, Power, ARM, and C++" (Chong, Sorensen & Wickerson,
+PLDI 2018).
+
+The package provides:
+
+* ``repro.events`` / ``repro.relations`` -- execution graphs and the
+  relational algebra they are judged with (§2);
+* ``repro.models`` -- the SC/TSC, x86, Power, ARMv8 and C++ models with
+  their transactional extensions (§3, §5-§7);
+* ``repro.cat`` -- a .cat-style model language and interpreter;
+* ``repro.litmus`` -- litmus-test programs, conversion to/from
+  executions, and a herd-style candidate-execution pipeline;
+* ``repro.enumeration`` -- the Memalloy-replacement synthesis engine
+  that generates the Forbid/Allow conformance suites (§4);
+* ``repro.sim`` -- simulated hardware used for empirical validation
+  (§5.3, §6.2);
+* ``repro.metatheory`` -- monotonicity, compilation, and lock-elision
+  checking (§8);
+* ``repro.catalog`` -- every execution discussed in the paper;
+* ``repro.harness`` -- drivers regenerating Tables 1-2 and Figure 7.
+"""
+
+__version__ = "1.0.0"
+
+from .events import Execution, ExecutionBuilder
+from .models import get_model, model_names
+
+__all__ = [
+    "Execution",
+    "ExecutionBuilder",
+    "get_model",
+    "model_names",
+    "__version__",
+]

@@ -1,0 +1,129 @@
+"""Abstract syntax for the cat model language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Ident(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class EmptyRel(Expr):
+    """The literal ``0``."""
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Inter(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Diff(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Seq(Expr):
+    """Relational composition ``left ; right``."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class TransClosure(Expr):
+    """``e+``."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class ReflTransClosure(Expr):
+    """``e*``."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Optional(Expr):
+    """``e?``."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Inverse(Expr):
+    """``e^-1``."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Complement(Expr):
+    """``~e``."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class SetToRel(Expr):
+    """``[s]``: lift a set to the identity relation on it."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A builtin function application, e.g. ``weaklift(com, stxn)``."""
+
+    function: str
+    arguments: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class LetBinding:
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Let:
+    """``let x = e`` (possibly ``let rec ... and ...``)."""
+
+    bindings: tuple[LetBinding, ...]
+    recursive: bool
+
+
+@dataclass(frozen=True)
+class Check:
+    """``acyclic|irreflexive|empty e as Name``."""
+
+    kind: str  # "acyclic" | "irreflexive" | "empty"
+    expr: Expr
+    name: str
+
+
+@dataclass(frozen=True)
+class Model:
+    """A parsed cat model: a name and a list of statements."""
+
+    name: str
+    statements: tuple[Let | Check, ...]
+
+    def axiom_names(self) -> list[str]:
+        return [s.name for s in self.statements if isinstance(s, Check)]

@@ -1,0 +1,25 @@
+"""Error types for the cat-language toolchain."""
+
+from __future__ import annotations
+
+
+class CatError(Exception):
+    """Base class for cat-language errors."""
+
+
+class CatSyntaxError(CatError):
+    """Lexing or parsing failed."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class CatTypeError(CatError):
+    """An operator was applied to the wrong kind of value
+    (set vs. relation)."""
+
+
+class CatNameError(CatError):
+    """An identifier is not defined."""

@@ -1,0 +1,218 @@
+"""Evaluator: run a parsed cat model against an execution.
+
+Expressions evaluate to either a :class:`~repro.relations.Relation` or a
+set of event ids; the evaluator type-checks operator applications
+(``;`` needs relations, ``[·]`` needs a set, ``|``/``&``/``\\`` need two
+values of the same kind).
+
+``let rec`` groups are solved by Kleene iteration from empty relations:
+the defining operators are all monotone, and the universe is finite, so
+the least fixpoint is reached in finitely many rounds -- this is how the
+Power ``ppo`` recursion (ii/ic/ci/cc) executes.
+"""
+
+from __future__ import annotations
+
+from ..events import Execution
+from ..models.base import AxiomThunk, MemoryModel
+from ..relations import Relation
+from .ast import (
+    Call,
+    Check,
+    Complement,
+    Diff,
+    EmptyRel,
+    Expr,
+    Ident,
+    Inter,
+    Inverse,
+    Let,
+    Model,
+    Optional,
+    ReflTransClosure,
+    Seq,
+    SetToRel,
+    TransClosure,
+    Union,
+)
+from .errors import CatNameError, CatTypeError
+from .stdlib import Value, base_environment, builtin_functions
+
+
+def _require_relation(value: Value, context: str) -> Relation:
+    if not isinstance(value, Relation):
+        raise CatTypeError(f"{context} needs a relation, got a set")
+    return value
+
+
+def _require_set(value: Value, context: str) -> frozenset:
+    if isinstance(value, Relation):
+        raise CatTypeError(f"{context} needs a set, got a relation")
+    return frozenset(value)
+
+
+class Evaluator:
+    """Evaluates expressions over one execution's environment."""
+
+    def __init__(self, execution: Execution):
+        self.execution = execution
+        self.env: dict[str, Value] = base_environment(execution)
+        self.functions = builtin_functions(execution)
+
+    # ------------------------------------------------------------------
+
+    def run(self, model: Model) -> dict[str, bool]:
+        """Execute all statements; return axiom name → holds?"""
+        results: dict[str, bool] = {}
+        for statement in model.statements:
+            if isinstance(statement, Let):
+                self.execute_let(statement)
+            else:
+                results[statement.name] = self.check(statement)
+        return results
+
+    def execute_let(self, let: Let) -> None:
+        if not let.recursive:
+            for binding in let.bindings:
+                self.env[binding.name] = self.eval(binding.value)
+            return
+        # Kleene iteration for let rec groups.
+        empty = Relation.empty(self.execution.eids)
+        for binding in let.bindings:
+            self.env[binding.name] = empty
+        while True:
+            changed = False
+            new_values = {
+                binding.name: self.eval(binding.value)
+                for binding in let.bindings
+            }
+            for name, value in new_values.items():
+                if self.env[name] != value:
+                    changed = True
+                self.env[name] = value
+            if not changed:
+                return
+
+    def check(self, check: Check) -> bool:
+        value = _require_relation(self.eval(check.expr), check.kind)
+        if check.kind == "acyclic":
+            return value.is_acyclic()
+        if check.kind == "irreflexive":
+            return value.is_irreflexive()
+        if check.kind == "empty":
+            return value.is_empty()
+        raise ValueError(f"unknown check kind {check.kind!r}")
+
+    # ------------------------------------------------------------------
+
+    def eval(self, expr: Expr) -> Value:
+        if isinstance(expr, Ident):
+            if expr.name not in self.env:
+                raise CatNameError(f"undefined identifier {expr.name!r}")
+            return self.env[expr.name]
+        if isinstance(expr, EmptyRel):
+            return Relation.empty(self.execution.eids)
+        if isinstance(expr, Union):
+            return self._binary(expr.left, expr.right, "|", "union")
+        if isinstance(expr, Inter):
+            return self._binary(expr.left, expr.right, "&", "intersection")
+        if isinstance(expr, Diff):
+            return self._binary(expr.left, expr.right, "-", "difference")
+        if isinstance(expr, Seq):
+            left = _require_relation(self.eval(expr.left), ";")
+            right = _require_relation(self.eval(expr.right), ";")
+            return left.compose(right)
+        if isinstance(expr, TransClosure):
+            return _require_relation(self.eval(expr.operand), "+").transitive_closure()
+        if isinstance(expr, ReflTransClosure):
+            return _require_relation(
+                self.eval(expr.operand), "*"
+            ).reflexive_transitive_closure()
+        if isinstance(expr, Optional):
+            return _require_relation(self.eval(expr.operand), "?").optional()
+        if isinstance(expr, Inverse):
+            return _require_relation(self.eval(expr.operand), "^-1").inverse()
+        if isinstance(expr, Complement):
+            return ~_require_relation(self.eval(expr.operand), "~")
+        if isinstance(expr, SetToRel):
+            elements = _require_set(self.eval(expr.operand), "[·]")
+            return Relation.from_set(elements, self.execution.eids)
+        if isinstance(expr, Call):
+            if expr.function not in self.functions:
+                raise CatNameError(f"undefined function {expr.function!r}")
+            args = [self.eval(a) for a in expr.arguments]
+            return self.functions[expr.function](*args)
+        raise TypeError(f"unknown expression {expr!r}")
+
+    def _binary(self, left_expr: Expr, right_expr: Expr, op: str, name: str) -> Value:
+        left = self.eval(left_expr)
+        right = self.eval(right_expr)
+        if isinstance(left, Relation) != isinstance(right, Relation):
+            raise CatTypeError(f"{name} of a set and a relation")
+        if isinstance(left, Relation):
+            if op == "|":
+                return left | right
+            if op == "&":
+                return left & right
+            return left - right
+        if op == "|":
+            return left | right
+        if op == "&":
+            return left & right
+        return left - right
+
+
+class CatModel(MemoryModel):
+    """A parsed cat model exposed through the MemoryModel interface, so
+    cat-defined and native models are interchangeable everywhere."""
+
+    def __init__(self, model: Model, transactional: bool = True):
+        self.model = model
+        self.name = model.name
+        self.is_transactional = transactional
+
+    def axiom_thunks(self, execution: Execution) -> list[AxiomThunk]:
+        evaluator = Evaluator(execution)
+        thunks: list[AxiomThunk] = []
+        for statement in self.model.statements:
+            if isinstance(statement, Let):
+                # Bindings execute lazily, in order, the first time an
+                # axiom thunk after them runs.
+                thunks.append(
+                    (f"__let_{id(statement)}", _LetRunner(evaluator, statement))
+                )
+            else:
+                thunks.append((statement.name, _CheckRunner(evaluator, statement)))
+        # Let-runners always "pass"; filter them out of reported names by
+        # keeping them but returning True.
+        return thunks
+
+    def violated_axioms(self, execution: Execution) -> list[str]:
+        violated: list[str] = []
+        for name, thunk in self.axiom_thunks(execution):
+            ok = thunk()  # let-runners must execute even when skipped below
+            if not ok and not name.startswith("__let_"):
+                violated.append(name)
+        return violated
+
+
+class _LetRunner:
+    def __init__(self, evaluator: Evaluator, let: Let):
+        self.evaluator = evaluator
+        self.let = let
+        self.done = False
+
+    def __call__(self) -> bool:
+        if not self.done:
+            self.evaluator.execute_let(self.let)
+            self.done = True
+        return True
+
+
+class _CheckRunner:
+    def __init__(self, evaluator: Evaluator, check: Check):
+        self.evaluator = evaluator
+        self.check_node = check
+
+    def __call__(self) -> bool:
+        return self.evaluator.check(self.check_node)

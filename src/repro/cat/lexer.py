@@ -1,0 +1,128 @@
+"""Lexer for the cat model language.
+
+The dialect is a subset of herd's ``.cat`` language (Alglave et al.),
+with two deliberate deviations, both documented in the package docstring
+of :mod:`repro.cat`: Cartesian products are written ``cross(S1, S2)``
+(herd overloads ``*``, which this dialect reserves for reflexive-
+transitive closure), and inverse is written ``^-1``.
+
+Tokens: string literals (the model name), identifiers, keywords
+(``let``, ``rec``, ``and``, ``as``, ``acyclic``, ``irreflexive``,
+``empty``), operators ``| & \\ ; + * ? ~ ( ) [ ] , ^-1``, the empty
+relation ``0``, and nestable ``(* ... *)`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import CatSyntaxError
+
+KEYWORDS = {"let", "rec", "and", "as", "acyclic", "irreflexive", "empty"}
+
+SIMPLE_TOKENS = {
+    "|": "PIPE",
+    "&": "AMP",
+    "\\": "DIFF",
+    ";": "SEMI",
+    "+": "PLUS",
+    "*": "STAR",
+    "?": "QUESTION",
+    "~": "TILDE",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    ",": "COMMA",
+    "=": "EQUALS",
+    "0": "ZERO",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "IDENT", "STRING", a keyword (upper-cased), or a symbol name
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind} {self.text!r} @{self.line}:{self.column}>"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex a cat model; raises :class:`CatSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> CatSyntaxError:
+        return CatSyntaxError(message, line, column)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("(*", i):
+            depth = 1
+            i += 2
+            column += 2
+            while i < n and depth:
+                if source.startswith("(*", i):
+                    depth += 1
+                    i += 2
+                    column += 2
+                elif source.startswith("*)", i):
+                    depth -= 1
+                    i += 2
+                    column += 2
+                elif source[i] == "\n":
+                    line += 1
+                    column = 1
+                    i += 1
+                else:
+                    i += 1
+                    column += 1
+            if depth:
+                raise error("unterminated comment")
+            continue
+        if ch == '"':
+            end = source.find('"', i + 1)
+            if end < 0:
+                raise error("unterminated string")
+            text = source[i + 1 : end]
+            tokens.append(Token("STRING", text, line, column))
+            column += end - i + 1
+            i = end + 1
+            continue
+        if source.startswith("^-1", i):
+            tokens.append(Token("INVERSE", "^-1", line, column))
+            i += 3
+            column += 3
+            continue
+        if ch in SIMPLE_TOKENS:
+            tokens.append(Token(SIMPLE_TOKENS[ch], ch, line, column))
+            i += 1
+            column += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_-."):
+                j += 1
+            text = source[i:j]
+            kind = text.upper() if text in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, text, line, column))
+            column += j - i
+            i = j
+            continue
+        raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

@@ -1,0 +1,35 @@
+"""Loading the bundled .cat model files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .eval import CatModel
+from .parser import parse
+
+MODELS_DIR = Path(__file__).parent / "models"
+
+_TRANSACTIONAL = {"tsc", "x86tm", "powertm", "armv8tm", "cpptm"}
+
+
+def available_cat_models() -> list[str]:
+    """Names of the bundled .cat files (without extension)."""
+    return sorted(p.stem for p in MODELS_DIR.glob("*.cat"))
+
+
+def load_cat_model(name: str) -> CatModel:
+    """Parse a bundled model file into a runnable :class:`CatModel`."""
+    path = MODELS_DIR / f"{name}.cat"
+    if not path.exists():
+        raise KeyError(
+            f"no bundled cat model {name!r}; available: "
+            f"{', '.join(available_cat_models())}"
+        )
+    return CatModel(
+        parse(path.read_text()), transactional=name in _TRANSACTIONAL
+    )
+
+
+def load_cat_file(path: str | Path) -> CatModel:
+    """Parse an arbitrary .cat file."""
+    return CatModel(parse(Path(path).read_text()))

@@ -1,0 +1,196 @@
+"""Recursive-descent parser for the cat model language.
+
+Grammar (operator precedence from loosest to tightest)::
+
+    model     ::= STRING statement*
+    statement ::= "let" ["rec"] binding ("and" binding)*
+                | ("acyclic" | "irreflexive" | "empty") expr "as" IDENT
+    binding   ::= IDENT "=" expr
+    expr      ::= union
+    union     ::= diff ("|" diff)*
+    diff      ::= inter ("\\" inter)*
+    inter     ::= seq ("&" seq)*
+    seq       ::= unary (";" unary)*
+    unary     ::= "~" unary | postfix
+    postfix   ::= atom ("+" | "*" | "?" | "^-1")*
+    atom      ::= IDENT | IDENT "(" expr ("," expr)* ")"
+                | "0" | "[" expr "]" | "(" expr ")"
+
+Note ``;`` binds tighter than ``&``, which binds tighter than ``\\``,
+which binds tighter than ``|`` -- so ``rmw & fre;coe`` parses as
+``rmw & (fre;coe)``, matching how the paper's axioms read.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Call,
+    Check,
+    Complement,
+    Diff,
+    EmptyRel,
+    Expr,
+    Ident,
+    Inter,
+    Inverse,
+    Let,
+    LetBinding,
+    Model,
+    Optional,
+    ReflTransClosure,
+    Seq,
+    SetToRel,
+    TransClosure,
+    Union,
+)
+from .errors import CatSyntaxError
+from .lexer import Token, tokenize
+
+_CHECK_KINDS = {"ACYCLIC": "acyclic", "IRREFLEXIVE": "irreflexive", "EMPTY": "empty"}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise CatSyntaxError(
+                f"expected {kind}, found {self.current.kind} "
+                f"({self.current.text!r})",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance()
+
+    def accept(self, kind: str) -> Token | None:
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_model(self) -> Model:
+        name = self.expect("STRING").text
+        statements: list[Let | Check] = []
+        while self.current.kind != "EOF":
+            statements.append(self.parse_statement())
+        return Model(name=name, statements=tuple(statements))
+
+    def parse_statement(self) -> Let | Check:
+        if self.current.kind == "LET":
+            return self.parse_let()
+        if self.current.kind in _CHECK_KINDS:
+            kind = _CHECK_KINDS[self.advance().kind]
+            expr = self.parse_expr()
+            self.expect("AS")
+            name = self.expect("IDENT").text
+            return Check(kind=kind, expr=expr, name=name)
+        raise CatSyntaxError(
+            f"expected a statement, found {self.current.text!r}",
+            self.current.line,
+            self.current.column,
+        )
+
+    def parse_let(self) -> Let:
+        self.expect("LET")
+        recursive = self.accept("REC") is not None
+        bindings = [self.parse_binding()]
+        while self.accept("AND"):
+            bindings.append(self.parse_binding())
+        return Let(bindings=tuple(bindings), recursive=recursive)
+
+    def parse_binding(self) -> LetBinding:
+        name = self.expect("IDENT").text
+        self.expect("EQUALS")
+        return LetBinding(name=name, value=self.parse_expr())
+
+    def parse_expr(self) -> Expr:
+        return self.parse_union()
+
+    def parse_union(self) -> Expr:
+        left = self.parse_diff()
+        while self.accept("PIPE"):
+            left = Union(left, self.parse_diff())
+        return left
+
+    def parse_diff(self) -> Expr:
+        left = self.parse_inter()
+        while self.accept("DIFF"):
+            left = Diff(left, self.parse_inter())
+        return left
+
+    def parse_inter(self) -> Expr:
+        left = self.parse_seq()
+        while self.accept("AMP"):
+            left = Inter(left, self.parse_seq())
+        return left
+
+    def parse_seq(self) -> Expr:
+        left = self.parse_unary()
+        while self.accept("SEMI"):
+            left = Seq(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept("TILDE"):
+            return Complement(self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_atom()
+        while True:
+            if self.accept("PLUS"):
+                expr = TransClosure(expr)
+            elif self.accept("STAR"):
+                expr = ReflTransClosure(expr)
+            elif self.accept("QUESTION"):
+                expr = Optional(expr)
+            elif self.accept("INVERSE"):
+                expr = Inverse(expr)
+            else:
+                return expr
+
+    def parse_atom(self) -> Expr:
+        token = self.current
+        if self.accept("ZERO"):
+            return EmptyRel()
+        if self.accept("LBRACKET"):
+            inner = self.parse_expr()
+            self.expect("RBRACKET")
+            return SetToRel(inner)
+        if self.accept("LPAREN"):
+            inner = self.parse_expr()
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "IDENT":
+            self.advance()
+            if self.accept("LPAREN"):
+                args = [self.parse_expr()]
+                while self.accept("COMMA"):
+                    args.append(self.parse_expr())
+                self.expect("RPAREN")
+                return Call(function=token.text, arguments=tuple(args))
+            return Ident(token.text)
+        raise CatSyntaxError(
+            f"expected an expression, found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+
+def parse(source: str) -> Model:
+    """Parse a cat model from source text."""
+    return Parser(tokenize(source)).parse_model()

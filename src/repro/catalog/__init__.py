@@ -1,0 +1,5 @@
+"""Named executions from the paper and the litmus-test literature."""
+
+from . import classics, figures
+
+__all__ = ["classics", "figures"]

@@ -1,0 +1,354 @@
+"""Every execution discussed in the paper, reconstructed exactly.
+
+Figure and section numbers refer to the PLDI 2018 paper.  These are used
+as ground truth by the test suite: for each execution we know, from the
+paper's prose, which models must allow it and which must forbid it.
+"""
+
+from __future__ import annotations
+
+from ..events import ACQ, REL, SYNC, ExecutionBuilder
+from ..events.execution import Execution
+
+
+def fig1() -> Execution:
+    """Fig. 1: a three-event execution and its litmus test.
+
+    T0: a: W x ; b: R x (po), T1: c: W x, with co(a, c) and rf(c, b).
+    Consistent under every model (b legitimately reads the co-later c).
+    """
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    a = t0.write("x")
+    r = t0.read("x")
+    c = t1.write("x")
+    b.co(a, c)
+    b.rf(c, r)
+    return b.build()
+
+
+def fig2() -> Execution:
+    """Fig. 2: Fig. 1 with a and b inside a successful transaction.
+
+    Forbidden by every TM model: the external write c both co-follows
+    the transaction's write and feeds its read -- a strong-isolation
+    violation.  The non-TM baselines allow it.
+    """
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    with t0.transaction():
+        a = t0.write("x")
+        r = t0.read("x")
+    c = t1.write("x")
+    b.co(a, c)
+    b.rf(c, r)
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3: the four 3-event SC executions that separate weak from strong
+# isolation.  In each, a two-event transaction is interfered with by one
+# *non-transactional* event in another thread.
+# ---------------------------------------------------------------------------
+
+
+def fig3a() -> Execution:
+    """Fig. 3(a) -- "non-interference": txn [R x; R x], external W x
+    splitting the two reads (fr then rf)."""
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    with t0.transaction():
+        r1 = t0.read("x")
+        r2 = t0.read("x")
+    w = t1.write("x")
+    b.rf(w, r2)
+    del r1
+    return b.build()
+
+
+def fig3b() -> Execution:
+    """Fig. 3(b) -- RMW-isolation-like: txn [R x; W x], external W x
+    intervening (fr then co)."""
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    with t0.transaction():
+        r = t0.read("x")
+        w2 = t0.write("x")
+    w = t1.write("x")
+    b.co(w, w2)
+    del r
+    return b.build()
+
+
+def fig3c() -> Execution:
+    """Fig. 3(c): txn [W x; R x], the read observing an external write
+    that co-follows the transaction's own write (co then rf)."""
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    with t0.transaction():
+        w1 = t0.write("x")
+        r = t0.read("x")
+    w = t1.write("x")
+    b.co(w1, w)
+    b.rf(w, r)
+    return b.build()
+
+
+def fig3d() -> Execution:
+    """Fig. 3(d) -- "containment": txn [W x; W x], an external read
+    observing the intermediate write (rf then fr)."""
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    with t0.transaction():
+        w1 = t0.write("x")
+        w2 = t0.write("x")
+    r = t1.read("x")
+    b.co(w1, w2)
+    b.rf(w1, r)
+    return b.build()
+
+
+def fig3_all() -> dict[str, Execution]:
+    return {"a": fig3a(), "b": fig3b(), "c": fig3c(), "d": fig3d()}
+
+
+# ---------------------------------------------------------------------------
+# §5.2 executions (1), (2), (3) and Remark 5.1
+# ---------------------------------------------------------------------------
+
+
+def power_integrated_barrier() -> Execution:
+    """§5.2 execution (1): WRC with the middle thread transactional.
+
+    Must be forbidden on Power: the transaction's write (c) propagates
+    to the third thread before a write (a) the transaction observed.
+    Captured by tprop1 + Observation.
+    """
+    from .classics import wrc_txn
+
+    return wrc_txn()
+
+
+def power_txn_multicopy_atomic() -> Execution:
+    """§5.2 execution (2): WRC with the *first* write transactional.
+
+    Must be forbidden on Power: transactional writes are multicopy-
+    atomic.  Captured by tprop2 + Observation.
+    """
+    b = ExecutionBuilder()
+    t0, t1, t2 = b.thread(), b.thread(), b.thread()
+    with t0.transaction():
+        wx = t0.write("x")
+    rx = t1.read("x")
+    wy = t1.write("y")
+    ry = t2.read("y")
+    rx2 = t2.read("x")
+    b.rf(wx, rx)
+    b.rf(wy, ry)
+    b.data(rx, wy)
+    b.addr(ry, rx2)
+    return b.build()
+
+
+def power_txn_ordering() -> Execution:
+    """§5.2 execution (3): IRIW with both writes transactional.
+
+    Must be forbidden on Power: successful transactions serialise, and
+    here the two reader threads observe contradictory orders.  Captured
+    by the thb cycle.
+    """
+    from .classics import iriw_txn
+
+    return iriw_txn(both=True)
+
+
+def power_txn_ordering_single() -> Execution:
+    """The §5.2 caveat: execution (3) with only one write transactional
+    was *observed* on POWER8 and must remain allowed."""
+    from .classics import iriw_txn
+
+    return iriw_txn(both=False)
+
+
+def remark51_first() -> Execution:
+    """Remark 5.1, first execution: a read-only transaction observing
+    W x but missing a 'later' W y, with a sync-separated observer.
+
+    The Power manual is ambiguous; the paper's model errs on the side of
+    caution and PERMITS it (the integrated-barrier axiom tprop1 needs a
+    transactional write, and this transaction is read-only).
+    """
+    b = ExecutionBuilder()
+    t0, t1, t2 = b.thread(), b.thread(), b.thread()
+    wx = t0.write("x")
+    with t1.transaction():
+        rx = t1.read("x")
+        ry = t1.read("y")
+    wy = t2.write("y")
+    t2.fence(SYNC)
+    rx2 = t2.read("x")
+    b.rf(wx, rx)
+    del ry, rx2  # both read the initial value: fr edges are implied
+    del wy
+    return b.build()
+
+
+def remark51_second() -> Execution:
+    """Remark 5.1, second execution: as the first, but the observer
+    thread *writes* x (co-before a) instead of reading it.  Also
+    permitted by the model."""
+    b = ExecutionBuilder()
+    t0, t1, t2 = b.thread(), b.thread(), b.thread()
+    wx = t0.write("x")
+    with t1.transaction():
+        rx = t1.read("x")
+        ry = t1.read("y")
+    wy = t2.write("y")
+    t2.fence(SYNC)
+    wx2 = t2.write("x")
+    b.rf(wx, rx)
+    b.co(wx2, wx)
+    del ry, wy
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# §8.1 monotonicity counterexample
+# ---------------------------------------------------------------------------
+
+
+def monotonicity_split_rmw() -> Execution:
+    """§8.1 (left): an RMW whose read and write sit in *two adjacent*
+    transactions.  Inconsistent on Power/ARMv8 (TxnCancelsRMW)."""
+    b = ExecutionBuilder()
+    t0 = b.thread()
+    with t0.transaction():
+        r = t0.read("x")
+    with t0.transaction():
+        w = t0.write("x")
+    b.rmw(r, w)
+    return b.build()
+
+
+def monotonicity_joined_rmw() -> Execution:
+    """§8.1 (right): the same RMW inside a *single* transaction --
+    consistent, witnessing that transaction coalescing is unsound on
+    Power/ARMv8."""
+    b = ExecutionBuilder()
+    t0 = b.thread()
+    with t0.transaction():
+        r = t0.read("x")
+        w = t0.write("x")
+    b.rmw(r, w)
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# §9: the execution separating our Power model from Dongol et al.'s
+# ---------------------------------------------------------------------------
+
+
+def dongol_comparison() -> Execution:
+    """§9: transactional MP.  Forbidden by C++ TM (hb cycle through
+    tsw), so a sound compiler mapping needs the Power TM model to forbid
+    it too -- ours does (thb), Dongol et al.'s does not."""
+    from .classics import mp_txn
+
+    return mp_txn()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 / Example 1.1: lock elision unsoundness in ARMv8
+# ---------------------------------------------------------------------------
+
+
+def fig10_concrete() -> Execution:
+    """Fig. 10 (right): the concrete ARMv8 execution showing lock
+    elision unsound.
+
+    T0 (spinlock + critical region):
+        a: R m [ACQ]   (LDAXR, reads m = 0: lock observed free)
+        b: W m         (STXR, rmw with a: lock taken)
+        c: R x         (reads the initial x = 0 -- speculatively early!)
+        d: W x         (data-dependent on c: writes x+2)
+        e: W m [REL]   (STLR: lock released)
+    T1 (elided critical region, one transaction):
+        f: R m         (reads m = 0: lock observed free)
+        g: W x         (writes 1)
+    with co(g, d) -- the final value of x is T0's write -- and
+    co(b, e) for the lock variable.
+
+    CONSISTENT under ARMv8+TM: nothing orders b before c, so T0's
+    critical region reads x before the lock write completes, and the
+    transaction slips in between.  Mutual exclusion is violated.
+    """
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    a = t0.read("m", tags={ACQ})
+    bw = t0.write("m")
+    c = t0.read("x")
+    d = t0.write("x")
+    e = t0.write("m", tags={REL})
+    with t1.transaction():
+        f = t1.read("m")
+        g = t1.write("x")
+    b.rmw(a, bw)
+    b.data(c, d)
+    b.co(bw, e)
+    b.co(g, d)
+    del f
+    return b.build()
+
+
+def fig10_concrete_fixed() -> Execution:
+    """Fig. 10's execution after the §1.1 fix (a DMB appended to the
+    lock implementation).  Now INCONSISTENT under ARMv8+TM: the DMB
+    orders the lock write before the critical-region read, closing a
+    TxnOrder cycle through the transaction."""
+    from ..events import DMB
+
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    a = t0.read("m", tags={ACQ})
+    bw = t0.write("m")
+    t0.fence(DMB)
+    c = t0.read("x")
+    d = t0.write("x")
+    e = t0.write("m", tags={REL})
+    with t1.transaction():
+        f = t1.read("m")
+        g = t1.write("x")
+    b.rmw(a, bw)
+    b.data(c, d)
+    b.co(bw, e)
+    b.co(g, d)
+    del f
+    return b.build()
+
+
+def appendix_b_concrete() -> Execution:
+    """§B: the second lock-elision counterexample -- the transaction's
+    *load* observes T0's intermediate write to x.
+
+    T0: spinlock, then two stores to x; T1: elided CR loading x.
+        a: R m [ACQ]; b: W m (rmw); c: W x (=1); d: W x (=2); e: W m [REL]
+        T1 txn: f: R m (=0); g: R x  with rf(c, g)
+    CONSISTENT under ARMv8+TM: the first store to x can be observed by
+    the transaction before the lock write completes.
+    """
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    a = t0.read("m", tags={ACQ})
+    bw = t0.write("m")
+    c = t0.write("x")
+    d = t0.write("x")
+    e = t0.write("m", tags={REL})
+    with t1.transaction():
+        f = t1.read("m")
+        g = t1.read("x")
+    b.rmw(a, bw)
+    b.co(c, d)
+    b.co(bw, e)
+    b.rf(c, g)
+    del f
+    return b.build()

@@ -1,0 +1,47 @@
+"""Exhaustive execution enumeration and conformance-test synthesis (§4)."""
+
+from .canonical import canonical_key, dedup
+from .complete import complete_skeleton, enumerate_executions
+from .config import (
+    ARMV8_CONFIG,
+    CONFIGS,
+    CPP_CONFIG,
+    POWER_CONFIG,
+    SC_CONFIG,
+    X86_CONFIG,
+    EnumerationConfig,
+    get_config,
+)
+from .minimality import is_minimal_inconsistent, weakenings
+from .shapes import (
+    Skeleton,
+    enumerate_skeletons,
+    interval_sets,
+    partitions,
+    restricted_growth_strings,
+)
+from .synthesis import SynthesisResult, synthesise
+
+__all__ = [
+    "ARMV8_CONFIG",
+    "CONFIGS",
+    "CPP_CONFIG",
+    "POWER_CONFIG",
+    "SC_CONFIG",
+    "X86_CONFIG",
+    "EnumerationConfig",
+    "Skeleton",
+    "SynthesisResult",
+    "canonical_key",
+    "complete_skeleton",
+    "dedup",
+    "enumerate_executions",
+    "enumerate_skeletons",
+    "get_config",
+    "interval_sets",
+    "is_minimal_inconsistent",
+    "partitions",
+    "restricted_growth_strings",
+    "synthesise",
+    "weakenings",
+]

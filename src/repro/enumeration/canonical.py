@@ -1,0 +1,92 @@
+"""Canonicalisation: deduplicating executions up to isomorphism.
+
+Two executions are isomorphic when one maps onto the other by renaming
+threads, renaming locations, and renumbering events consistently with
+thread order.  Synthesis deduplicates the Forbid/Allow sets under this
+relation, mirroring how Memalloy's symmetry-breaking reports each test
+once.
+
+The canonical key is computed by brute force over thread permutations
+(executions have at most a handful of threads): for each permutation,
+events are renumbered in the new thread order, locations are renamed by
+first occurrence, and the lexicographically least full encoding wins.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..events import Execution
+
+
+def canonical_key(execution: Execution) -> tuple:
+    """A total invariant: equal iff the executions are isomorphic."""
+    thread_ids = range(len(execution.threads))
+    best: tuple | None = None
+    for perm in itertools.permutations(thread_ids):
+        encoding = _encode(execution, perm)
+        if best is None or encoding < best:
+            best = encoding
+    return best if best is not None else ()
+
+
+def dedup(executions) -> list[Execution]:
+    """Keep one representative per isomorphism class, preserving order."""
+    seen: set[tuple] = set()
+    out: list[Execution] = []
+    for x in executions:
+        key = canonical_key(x)
+        if key not in seen:
+            seen.add(key)
+            out.append(x)
+    return out
+
+
+def _encode(execution: Execution, perm: tuple[int, ...]) -> tuple:
+    order = [eid for tid in perm for eid in execution.threads[tid]]
+    renumber = {eid: i for i, eid in enumerate(order)}
+
+    loc_rename: dict[str, int] = {}
+    event_codes = []
+    sizes = tuple(len(execution.threads[tid]) for tid in perm)
+    for eid in order:
+        event = execution.event(eid)
+        if event.loc is None:
+            loc_code = -1
+        else:
+            if event.loc not in loc_rename:
+                loc_rename[event.loc] = len(loc_rename)
+            loc_code = loc_rename[event.loc]
+        event_codes.append((event.kind, loc_code, tuple(sorted(event.tags))))
+
+    def rel_code(pairs) -> tuple:
+        return tuple(sorted((renumber[a], renumber[b]) for a, b in pairs))
+
+    txn_rename: dict[int, int] = {}
+    txn_codes = []
+    for eid in order:
+        txn = execution.txn_of.get(eid)
+        if txn is None:
+            txn_codes.append(-1)
+        else:
+            if txn not in txn_rename:
+                txn_rename[txn] = len(txn_rename)
+            txn_codes.append(txn_rename[txn])
+    atomic_codes = tuple(
+        sorted(
+            txn_rename[t] for t in execution.atomic_txns if t in txn_rename
+        )
+    )
+
+    return (
+        sizes,
+        tuple(event_codes),
+        rel_code(execution.rf.pairs),
+        rel_code(execution.co.pairs),
+        rel_code(execution.addr.pairs),
+        rel_code(execution.ctrl.pairs),
+        rel_code(execution.data.pairs),
+        rel_code(execution.rmw.pairs),
+        tuple(txn_codes),
+        atomic_codes,
+    )

@@ -1,0 +1,150 @@
+"""Per-architecture enumeration vocabularies.
+
+The candidate-execution space differs per target: which fence flavours
+exist, which events carry acquire/release/mode annotations, whether
+dependencies matter (they do not appear in the x86 model of Fig. 5, so
+enumerating them for x86 would only produce isomorphic duplicates), and
+how events *downgrade* for the ⊏-order of §4.2 step (iii).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..events import (
+    ACQ,
+    DMB,
+    DMBLD,
+    DMBST,
+    LWSYNC,
+    MFENCE,
+    NA,
+    REL,
+    RLX,
+    SC,
+    SYNC,
+    Event,
+)
+
+
+@dataclass(frozen=True)
+class EnumerationConfig:
+    """What the skeleton enumerator may generate for one target."""
+
+    name: str
+    model_name: str  # transactional model in the registry
+    read_tag_options: tuple[frozenset[str], ...] = (frozenset(),)
+    write_tag_options: tuple[frozenset[str], ...] = (frozenset(),)
+    fence_flavours: tuple[str, ...] = ()
+    enumerate_deps: bool = False
+    allow_rmw: bool = True
+    allow_txns: bool = True
+    #: C++ only: transactions may be atomic{} as well as synchronized{}
+    atomic_txn_variants: bool = False
+
+    def downgrades(self, event: Event) -> list[Event]:
+        """⊏-step (iii): the strictly weaker variants of one event."""
+        out: list[Event] = []
+        if event.is_fence:
+            flavour = event.fence_flavour
+            for weaker in _FENCE_DOWNGRADES.get((self.name, flavour), ()):
+                out.append(event.with_tags((event.tags - {flavour}) | {weaker}))
+            return out
+        lattice = _TAG_DOWNGRADES.get(self.name, {})
+        for tag in event.tags:
+            for weaker in lattice.get((event.kind, tag), ()):
+                new_tags = event.tags - {tag}
+                if weaker is not None:
+                    new_tags = new_tags | {weaker}
+                out.append(event.with_tags(frozenset(new_tags)))
+        return out
+
+
+# Fence downgrade lattices, per (config name, flavour).
+_FENCE_DOWNGRADES: dict[tuple[str, str], tuple[str, ...]] = {
+    ("power", SYNC): (LWSYNC,),
+    ("armv8", DMB): (DMBLD, DMBST),
+}
+
+# Tag downgrade lattices, per config name then (kind, tag) → weaker tags
+# (None means "drop the tag entirely").
+_TAG_DOWNGRADES: dict[str, dict[tuple[str, str], tuple[str | None, ...]]] = {
+    "armv8": {
+        ("R", ACQ): (None,),
+        ("W", REL): (None,),
+    },
+    "cpp": {
+        ("R", SC): (ACQ,),
+        ("R", ACQ): (RLX,),
+        ("R", RLX): (NA,),
+        ("W", SC): (REL,),
+        ("W", REL): (RLX,),
+        ("W", RLX): (NA,),
+    },
+}
+
+
+X86_CONFIG = EnumerationConfig(
+    name="x86",
+    model_name="x86tm",
+    fence_flavours=(MFENCE,),
+    enumerate_deps=False,  # Fig. 5 mentions no dependency relations
+)
+
+POWER_CONFIG = EnumerationConfig(
+    name="power",
+    model_name="powertm",
+    fence_flavours=(SYNC, LWSYNC),
+    enumerate_deps=True,
+)
+
+ARMV8_CONFIG = EnumerationConfig(
+    name="armv8",
+    model_name="armv8tm",
+    read_tag_options=(frozenset(), frozenset({ACQ})),
+    write_tag_options=(frozenset(), frozenset({REL})),
+    fence_flavours=(DMB,),
+    enumerate_deps=True,
+)
+
+CPP_CONFIG = EnumerationConfig(
+    name="cpp",
+    model_name="cpptm",
+    read_tag_options=(
+        frozenset({NA}),
+        frozenset({RLX}),
+        frozenset({ACQ}),
+        frozenset({SC}),
+    ),
+    write_tag_options=(
+        frozenset({NA}),
+        frozenset({RLX}),
+        frozenset({REL}),
+        frozenset({SC}),
+    ),
+    fence_flavours=(),
+    enumerate_deps=False,  # RC11 carries no dependency relations
+    atomic_txn_variants=True,
+)
+
+SC_CONFIG = EnumerationConfig(
+    name="sc",
+    model_name="tsc",
+    fence_flavours=(),
+    enumerate_deps=False,
+)
+
+CONFIGS = {
+    "x86": X86_CONFIG,
+    "power": POWER_CONFIG,
+    "armv8": ARMV8_CONFIG,
+    "cpp": CPP_CONFIG,
+    "sc": SC_CONFIG,
+}
+
+
+def get_config(name: str) -> EnumerationConfig:
+    key = name.lower()
+    if key not in CONFIGS:
+        raise KeyError(f"unknown enumeration target {name!r}")
+    return CONFIGS[key]

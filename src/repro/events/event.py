@@ -1,0 +1,167 @@
+"""Events: the vertices of execution graphs (§2.1, §3.1, §8.3).
+
+An event is a runtime memory action.  The paper partitions events into
+reads ``R``, writes ``W``, and fences ``F`` (fences are events, not
+edges -- footnote 1), and §8.3 adds four *method-call* event kinds for
+the lock-elision study: ``L``/``U`` (lock/unlock implemented normally)
+and ``Lt``/``Ut`` (lock/unlock to be transactionalised).
+
+Architecture- and language-specific attributes (acquire/release
+annotations, C++ consistency modes, fence flavours) are carried as string
+*tags* so that one event type serves every model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+# ---------------------------------------------------------------------------
+# Event kinds
+# ---------------------------------------------------------------------------
+
+READ = "R"
+WRITE = "W"
+FENCE = "F"
+LOCK = "L"  # §8.3: lock() implemented by really taking the lock
+UNLOCK = "U"  # §8.3: matching unlock()
+LOCK_T = "Lt"  # §8.3: lock() to be transactionalised (elided)
+UNLOCK_T = "Ut"  # §8.3: matching unlock()
+
+KINDS = (READ, WRITE, FENCE, LOCK, UNLOCK, LOCK_T, UNLOCK_T)
+MEMORY_KINDS = (READ, WRITE)
+CALL_KINDS = (LOCK, UNLOCK, LOCK_T, UNLOCK_T)
+
+# ---------------------------------------------------------------------------
+# Tags: acquire/release/SC annotations and C++ consistency modes
+# ---------------------------------------------------------------------------
+
+ACQ = "ACQ"  # ARMv8 LDAR / C++ acquire
+REL = "REL"  # ARMv8 STLR / C++ release
+SC = "SC"  # C++ seq_cst
+ACQ_REL = "ACQ_REL"  # C++ acq_rel (fences only)
+RLX = "RLX"  # C++ relaxed (atomic but unordered)
+NA = "NA"  # C++ non-atomic
+
+CPP_ACCESS_MODES = (NA, RLX, ACQ, REL, SC)
+CPP_READ_MODES = (NA, RLX, ACQ, SC)
+CPP_WRITE_MODES = (NA, RLX, REL, SC)
+CPP_FENCE_MODES = (ACQ, REL, ACQ_REL, SC)
+
+# ---------------------------------------------------------------------------
+# Fence flavours (one tag on each fence event)
+# ---------------------------------------------------------------------------
+
+MFENCE = "MFENCE"  # x86
+SYNC = "SYNC"  # Power heavyweight
+LWSYNC = "LWSYNC"  # Power lightweight
+ISYNC = "ISYNC"  # Power instruction barrier
+DMB = "DMB"  # ARMv8 full barrier
+DMBLD = "DMBLD"  # ARMv8 load barrier
+DMBST = "DMBST"  # ARMv8 store barrier
+ISB = "ISB"  # ARMv8 instruction barrier
+CPPF = "CPPF"  # C++ atomic_thread_fence (mode given by a mode tag)
+
+FENCE_FLAVOURS = (MFENCE, SYNC, LWSYNC, ISYNC, DMB, DMBLD, DMBST, ISB, CPPF)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One vertex of an execution graph.
+
+    Attributes:
+        eid: unique identifier within the execution.
+        tid: identifier of the thread the event belongs to.
+        kind: one of :data:`KINDS`.
+        loc: the shared location accessed (``None`` for fences and for the
+            §8.3 call events, whose lock variable is implicit).
+        tags: annotations -- acquire/release/SC, C++ modes, fence flavours.
+    """
+
+    eid: int
+    tid: int
+    kind: str
+    loc: str | None = None
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if not isinstance(self.tags, frozenset):
+            object.__setattr__(self, "tags", frozenset(self.tags))
+
+    # -- classification helpers ------------------------------------------
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == WRITE
+
+    @property
+    def is_fence(self) -> bool:
+        return self.kind == FENCE
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.kind in MEMORY_KINDS
+
+    @property
+    def is_call(self) -> bool:
+        return self.kind in CALL_KINDS
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+    @property
+    def cpp_mode(self) -> str | None:
+        """The single C++ consistency mode tag on the event, if any."""
+        modes = self.tags & set(CPP_ACCESS_MODES + (ACQ_REL,))
+        if not modes:
+            return None
+        if len(modes) > 1:
+            raise ValueError(f"event {self.eid} has several modes: {modes}")
+        return next(iter(modes))
+
+    @property
+    def fence_flavour(self) -> str | None:
+        """The fence flavour tag on the event, if any."""
+        flavours = self.tags & set(FENCE_FLAVOURS)
+        if not flavours:
+            return None
+        if len(flavours) > 1:
+            raise ValueError(f"event {self.eid} has several flavours: {flavours}")
+        return next(iter(flavours))
+
+    # -- functional updates -----------------------------------------------
+
+    def with_tags(self, tags: frozenset[str]) -> "Event":
+        return replace(self, tags=frozenset(tags))
+
+    def without_tag(self, tag: str) -> "Event":
+        return replace(self, tags=self.tags - {tag})
+
+    def with_tag(self, tag: str) -> "Event":
+        return replace(self, tags=self.tags | {tag})
+
+    def with_eid(self, eid: int) -> "Event":
+        return replace(self, eid=eid)
+
+    def with_tid(self, tid: int) -> "Event":
+        return replace(self, tid=tid)
+
+    # -- printing ----------------------------------------------------------
+
+    def label(self) -> str:
+        """A short human-readable label, e.g. ``a: R x [ACQ]``."""
+        name = chr(ord("a") + self.eid) if self.eid < 26 else f"e{self.eid}"
+        body = self.kind
+        if self.loc is not None:
+            body += f" {self.loc}"
+        if self.tags:
+            body += " [" + ",".join(sorted(self.tags)) + "]"
+        return f"{name}: {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.label()} @T{self.tid}>"

@@ -1,0 +1,566 @@
+"""Executions: labelled event graphs (§2.1) with transactions (§3.1).
+
+An :class:`Execution` packages the events, the primitive relations chosen
+by the candidate-execution semantics (``po`` via per-thread sequences,
+``rf``, ``co``, the dependency relations, ``rmw``), and the transaction
+structure, and computes every derived relation the paper's models use
+(``fr``, ``com``, ``stxn``, ``tfence``, per-flavour fence relations, ...).
+
+Executions are treated as immutable: all "edits" (used by the ⊏-weakening
+steps of §4.2 and the transformations of §8) return new objects.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Mapping, Sequence
+
+from ..relations import Relation, inter_thread, intra_thread
+from .event import (
+    ACQ,
+    ACQ_REL,
+    CPPF,
+    DMB,
+    DMBLD,
+    DMBST,
+    FENCE,
+    ISB,
+    ISYNC,
+    LWSYNC,
+    MFENCE,
+    NA,
+    READ,
+    REL,
+    RLX,
+    SC,
+    SYNC,
+    WRITE,
+    Event,
+)
+
+
+class Execution:
+    """An execution graph.
+
+    Args:
+        events: the events, in any order (they are sorted by ``eid``).
+        threads: per-thread sequences of event ids in program order.  The
+            per-thread total ``po`` is derived from these sequences.
+        rf: reads-from pairs ``(write-eid, read-eid)``.  A read with no
+            incoming ``rf`` edge observes the initial value (zero).
+        co: coherence pairs; only the per-location total order matters,
+            and :meth:`co` is stored transitively closed.
+        addr/ctrl/data: dependency pairs, within ``po``, sourced at reads.
+        rmw: pairs linking the read of a read-modify-write to its write.
+        txn_of: maps event ids to transaction identifiers; events sharing
+            an identifier are in the same successful transaction (§3.1).
+        atomic_txns: transaction ids that are C++ *atomic* transactions
+            (``stxnat``, §7.2); must be a subset of ``txn_of``'s values.
+    """
+
+    def __init__(
+        self,
+        events: Iterable[Event],
+        threads: Sequence[Sequence[int]],
+        rf: Iterable[tuple[int, int]] = (),
+        co: Iterable[tuple[int, int]] = (),
+        addr: Iterable[tuple[int, int]] = (),
+        ctrl: Iterable[tuple[int, int]] = (),
+        data: Iterable[tuple[int, int]] = (),
+        rmw: Iterable[tuple[int, int]] = (),
+        txn_of: Mapping[int, int] | None = None,
+        atomic_txns: Iterable[int] = (),
+    ):
+        self.events: tuple[Event, ...] = tuple(sorted(events, key=lambda e: e.eid))
+        self.threads: tuple[tuple[int, ...], ...] = tuple(
+            tuple(t) for t in threads if len(t) > 0
+        )
+        self._eids = frozenset(e.eid for e in self.events)
+        self._by_eid = {e.eid: e for e in self.events}
+        uni = self._eids
+        self._rf = Relation(rf, uni)
+        self._co_input = Relation(co, uni)
+        self._addr = Relation(addr, uni)
+        self._ctrl = Relation(ctrl, uni)
+        self._data = Relation(data, uni)
+        self._rmw = Relation(rmw, uni)
+        self.txn_of: dict[int, int] = dict(txn_of or {})
+        self.atomic_txns: frozenset[int] = frozenset(atomic_txns)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def event(self, eid: int) -> Event:
+        return self._by_eid[eid]
+
+    @property
+    def eids(self) -> frozenset[int]:
+        return self._eids
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_of_kind(self, kind: str) -> frozenset[int]:
+        return frozenset(e.eid for e in self.events if e.kind == kind)
+
+    def events_with_tag(self, tag: str) -> frozenset[int]:
+        return frozenset(e.eid for e in self.events if tag in e.tags)
+
+    @cached_property
+    def reads(self) -> frozenset[int]:
+        """The set R."""
+        return self.events_of_kind(READ)
+
+    @cached_property
+    def writes(self) -> frozenset[int]:
+        """The set W."""
+        return self.events_of_kind(WRITE)
+
+    @cached_property
+    def fences(self) -> frozenset[int]:
+        """The set F."""
+        return self.events_of_kind(FENCE)
+
+    @cached_property
+    def memory_events(self) -> frozenset[int]:
+        return self.reads | self.writes
+
+    @cached_property
+    def locations(self) -> tuple[str, ...]:
+        locs = {e.loc for e in self.events if e.loc is not None}
+        return tuple(sorted(locs))
+
+    def writes_to(self, loc: str) -> list[int]:
+        return [e.eid for e in self.events if e.is_write and e.loc == loc]
+
+    def thread_of(self, eid: int) -> int:
+        return self._by_eid[eid].tid
+
+    # ------------------------------------------------------------------
+    # Primitive relations
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def po(self) -> Relation:
+        """Program order: per-thread strict total order from ``threads``."""
+        pairs = []
+        for seq in self.threads:
+            for i, a in enumerate(seq):
+                for b in seq[i + 1 :]:
+                    pairs.append((a, b))
+        return Relation(pairs, self._eids)
+
+    @cached_property
+    def po_imm(self) -> Relation:
+        """Immediate (adjacent) program-order pairs."""
+        pairs = []
+        for seq in self.threads:
+            for a, b in zip(seq, seq[1:]):
+                pairs.append((a, b))
+        return Relation(pairs, self._eids)
+
+    @property
+    def rf(self) -> Relation:
+        return self._rf
+
+    @cached_property
+    def co(self) -> Relation:
+        """Coherence order, stored transitively closed."""
+        return self._co_input.transitive_closure()
+
+    @property
+    def addr(self) -> Relation:
+        return self._addr
+
+    @property
+    def ctrl(self) -> Relation:
+        return self._ctrl
+
+    @property
+    def data(self) -> Relation:
+        return self._data
+
+    @property
+    def rmw(self) -> Relation:
+        return self._rmw
+
+    @cached_property
+    def deps(self) -> Relation:
+        """All dependency edges: ``addr ∪ ctrl ∪ data``."""
+        return self._addr | self._ctrl | self._data
+
+    # ------------------------------------------------------------------
+    # Derived relations (§2.1)
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def sloc(self) -> Relation:
+        """Same-location equivalence over memory events."""
+        by_loc: dict[str, list[int]] = {}
+        for e in self.events:
+            if e.is_memory_access and e.loc is not None:
+                by_loc.setdefault(e.loc, []).append(e.eid)
+        pairs = [
+            (a, b) for group in by_loc.values() for a in group for b in group
+        ]
+        return Relation(pairs, self._eids)
+
+    @cached_property
+    def poloc(self) -> Relation:
+        """``po ∩ sloc``."""
+        return self.po & self.sloc
+
+    @cached_property
+    def fr(self) -> Relation:
+        """From-read: ``([R] ; sloc ; [W]) \\ (rf⁻¹ ; (co⁻¹)*)`` (§2.1).
+
+        A read with no rf edge observes the initial value, and is
+        correctly fr-before *every* write to its location under this
+        definition.
+        """
+        r_to_w = self.sloc.restrict(self.reads, self.writes).irreflexive_part()
+        seen_or_earlier = self._rf.inverse().compose(
+            self.co.inverse().reflexive_transitive_closure()
+        )
+        return r_to_w - seen_or_earlier
+
+    @cached_property
+    def com(self) -> Relation:
+        """Communication: ``rf ∪ co ∪ fr`` (§2.1)."""
+        return self._rf | self.co | self.fr
+
+    # External (inter-thread) / internal (intra-thread) restrictions.
+
+    @cached_property
+    def rfe(self) -> Relation:
+        return inter_thread(self._rf, self.po)
+
+    @cached_property
+    def rfi(self) -> Relation:
+        return intra_thread(self._rf, self.po)
+
+    @cached_property
+    def coe(self) -> Relation:
+        return inter_thread(self.co, self.po)
+
+    @cached_property
+    def coi(self) -> Relation:
+        return intra_thread(self.co, self.po)
+
+    @cached_property
+    def fre(self) -> Relation:
+        return inter_thread(self.fr, self.po)
+
+    @cached_property
+    def fri(self) -> Relation:
+        return intra_thread(self.fr, self.po)
+
+    @cached_property
+    def come(self) -> Relation:
+        return self.rfe | self.coe | self.fre
+
+    # ------------------------------------------------------------------
+    # Transactions (§3.1)
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def transactional_events(self) -> frozenset[int]:
+        return frozenset(self.txn_of)
+
+    @cached_property
+    def stxn(self) -> Relation:
+        """Successful-transaction PER: all pairs within one class,
+        including the diagonal (§3.1)."""
+        classes: dict[int, list[int]] = {}
+        for eid, txn in self.txn_of.items():
+            classes.setdefault(txn, []).append(eid)
+        pairs = [
+            (a, b) for group in classes.values() for a in group for b in group
+        ]
+        return Relation(pairs, self._eids)
+
+    @cached_property
+    def stxnat(self) -> Relation:
+        """The sub-PER of atomic transactions (§7.2)."""
+        classes: dict[int, list[int]] = {}
+        for eid, txn in self.txn_of.items():
+            if txn in self.atomic_txns:
+                classes.setdefault(txn, []).append(eid)
+        pairs = [
+            (a, b) for group in classes.values() for a in group for b in group
+        ]
+        return Relation(pairs, self._eids)
+
+    @cached_property
+    def txn_classes(self) -> dict[int, tuple[int, ...]]:
+        """Transaction id → its events in program order."""
+        classes: dict[int, list[int]] = {}
+        for seq in self.threads:
+            for eid in seq:
+                txn = self.txn_of.get(eid)
+                if txn is not None:
+                    classes.setdefault(txn, []).append(eid)
+        return {txn: tuple(evs) for txn, evs in classes.items()}
+
+    @cached_property
+    def tfence(self) -> Relation:
+        """Implicit transaction fences (§5.2):
+        ``tfence = po ∩ ((¬stxn ; stxn) ∪ (stxn ; ¬stxn))`` -- po edges
+        that enter or exit a successful transaction."""
+        stxn = self.stxn
+        not_stxn = ~stxn
+        boundary = not_stxn.compose(stxn) | stxn.compose(not_stxn)
+        return self.po & boundary
+
+    # ------------------------------------------------------------------
+    # Fence relations (events of flavour k induce a po-pair relation)
+    # ------------------------------------------------------------------
+
+    def _fence_relation(self, flavour: str) -> Relation:
+        fence_eids = [
+            e.eid
+            for e in self.events
+            if e.kind == FENCE and flavour in e.tags
+        ]
+        if not fence_eids:
+            return Relation.empty(self._eids)
+        po = self.po
+        pairs = set()
+        for f in fence_eids:
+            before = po.predecessors(f)
+            after = po.successors(f)
+            pairs |= {(a, b) for a in before for b in after}
+        return Relation(pairs, self._eids)
+
+    @cached_property
+    def mfence(self) -> Relation:
+        return self._fence_relation(MFENCE)
+
+    @cached_property
+    def sync(self) -> Relation:
+        return self._fence_relation(SYNC)
+
+    @cached_property
+    def lwsync(self) -> Relation:
+        return self._fence_relation(LWSYNC)
+
+    @cached_property
+    def isync(self) -> Relation:
+        return self._fence_relation(ISYNC)
+
+    @cached_property
+    def dmb(self) -> Relation:
+        return self._fence_relation(DMB)
+
+    @cached_property
+    def dmbld(self) -> Relation:
+        return self._fence_relation(DMBLD)
+
+    @cached_property
+    def dmbst(self) -> Relation:
+        return self._fence_relation(DMBST)
+
+    @cached_property
+    def isb(self) -> Relation:
+        return self._fence_relation(ISB)
+
+    # ------------------------------------------------------------------
+    # Tag-derived sets
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def acq(self) -> frozenset[int]:
+        """Acquire events: tag ACQ, or C++ modes that include acquire."""
+        out = set()
+        for e in self.events:
+            if e.tags & {ACQ, ACQ_REL}:
+                out.add(e.eid)
+            elif SC in e.tags and (e.is_read or e.is_fence):
+                out.add(e.eid)
+        return frozenset(out)
+
+    @cached_property
+    def rel(self) -> frozenset[int]:
+        """Release events: tag REL, or C++ modes that include release."""
+        out = set()
+        for e in self.events:
+            if e.tags & {REL, ACQ_REL}:
+                out.add(e.eid)
+            elif SC in e.tags and (e.is_write or e.is_fence):
+                out.add(e.eid)
+        return frozenset(out)
+
+    @cached_property
+    def sc_events(self) -> frozenset[int]:
+        return self.events_with_tag(SC)
+
+    @cached_property
+    def atomics(self) -> frozenset[int]:
+        """C++ ``Ato``: events from atomic operations (mode ≠ NA).
+
+        Fences are always atomic operations.  Memory accesses carrying no
+        C++ mode tag at all are treated as non-atomic.
+        """
+        out = set()
+        for e in self.events:
+            if e.is_fence:
+                out.add(e.eid)
+            elif e.tags & {RLX, ACQ, REL, ACQ_REL, SC}:
+                out.add(e.eid)
+        return frozenset(out)
+
+    @cached_property
+    def non_atomics(self) -> frozenset[int]:
+        return frozenset(
+            e.eid
+            for e in self.events
+            if e.is_memory_access and e.eid not in self.atomics
+        )
+
+    # ------------------------------------------------------------------
+    # Functional updates (used by §4.2 weakenings and §8 transforms)
+    # ------------------------------------------------------------------
+
+    def _relation_pairs(self) -> dict[str, frozenset[tuple[int, int]]]:
+        return {
+            "rf": self._rf.pairs,
+            "co": self.co.pairs,
+            "addr": self._addr.pairs,
+            "ctrl": self._ctrl.pairs,
+            "data": self._data.pairs,
+            "rmw": self._rmw.pairs,
+        }
+
+    def replace(self, **overrides) -> "Execution":
+        """Copy with some components replaced."""
+        base = {
+            "events": self.events,
+            "threads": self.threads,
+            "txn_of": self.txn_of,
+            "atomic_txns": self.atomic_txns,
+        }
+        base.update(self._relation_pairs())
+        base.update(overrides)
+        return Execution(**base)
+
+    def without_event(self, eid: int) -> "Execution":
+        """⊏-step (i): remove an event plus its incident edges (§4.2).
+
+        A thread emptied by the removal disappears, and the remaining
+        threads (and their events' tids) are renumbered to stay dense.
+        """
+        threads = [
+            tuple(x for x in seq if x != eid) for seq in self.threads
+        ]
+        tid_map: dict[int, int] = {}
+        for old_tid, seq in enumerate(threads):
+            if seq:
+                tid_map[old_tid] = len(tid_map)
+        events = [
+            e.with_tid(tid_map[e.tid])
+            for e in self.events
+            if e.eid != eid
+        ]
+        drop = lambda pairs: frozenset(
+            (a, b) for a, b in pairs if a != eid and b != eid
+        )
+        rels = {k: drop(v) for k, v in self._relation_pairs().items()}
+        txn_of = {k: v for k, v in self.txn_of.items() if k != eid}
+        return Execution(
+            events,
+            [seq for seq in threads if seq],
+            txn_of=txn_of,
+            atomic_txns=self.atomic_txns,
+            **rels,
+        )
+
+    def without_dep_edge(self, name: str, pair: tuple[int, int]) -> "Execution":
+        """⊏-step (ii): remove one dependency edge (§4.2)."""
+        if name not in ("addr", "ctrl", "data", "rmw"):
+            raise ValueError(f"not a dependency relation: {name}")
+        rels = self._relation_pairs()
+        rels[name] = rels[name] - {pair}
+        return self.replace(**rels)
+
+    def with_event_tags(self, eid: int, tags: frozenset[str]) -> "Execution":
+        """⊏-step (iii): downgrade an event by replacing its tags (§4.2)."""
+        events = [
+            e.with_tags(tags) if e.eid == eid else e for e in self.events
+        ]
+        return self.replace(events=tuple(events))
+
+    def without_txn_membership(self, eid: int) -> "Execution":
+        """⊏-step (v): make one (boundary) event non-transactional (§4.2)."""
+        txn_of = {k: v for k, v in self.txn_of.items() if k != eid}
+        return self.replace(txn_of=txn_of)
+
+    def with_txn_of(
+        self, txn_of: Mapping[int, int], atomic_txns: Iterable[int] = ()
+    ) -> "Execution":
+        """Replace the whole transaction structure."""
+        return self.replace(txn_of=dict(txn_of), atomic_txns=frozenset(atomic_txns))
+
+    def erase_transactions(self) -> "Execution":
+        """Forget all transactions: the non-TM baseline view (§5.3)."""
+        return self.replace(txn_of={}, atomic_txns=frozenset())
+
+    # ------------------------------------------------------------------
+    # Fingerprinting (used for deduplication; isomorphism-insensitive
+    # canonicalisation lives in repro.enumeration.canonical)
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> tuple:
+        """A hashable, structure-complete encoding of the execution."""
+        return (
+            tuple(
+                (e.eid, e.tid, e.kind, e.loc, tuple(sorted(e.tags)))
+                for e in self.events
+            ),
+            self.threads,
+            tuple(sorted(self._rf.pairs)),
+            tuple(sorted(self.co.pairs)),
+            tuple(sorted(self._addr.pairs)),
+            tuple(sorted(self._ctrl.pairs)),
+            tuple(sorted(self._data.pairs)),
+            tuple(sorted(self._rmw.pairs)),
+            tuple(sorted(self.txn_of.items())),
+            tuple(sorted(self.atomic_txns)),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Execution):
+            return NotImplemented
+        return self.fingerprint() == other.fingerprint()
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint())
+
+    # ------------------------------------------------------------------
+    # Pretty-printing
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """A multi-line textual rendering (threads as columns of labels,
+        then the non-po edges)."""
+        lines = []
+        for tid, seq in enumerate(self.threads):
+            parts = []
+            for eid in seq:
+                lbl = self.event(eid).label()
+                txn = self.txn_of.get(eid)
+                if txn is not None:
+                    lbl = f"[{lbl} #T{txn}]"
+                parts.append(lbl)
+            lines.append(f"thread {tid}: " + " ; ".join(parts))
+        for name in ("rf", "co", "addr", "ctrl", "data", "rmw"):
+            rel = getattr(self, name if name != "co" else "co")
+            if name == "rf":
+                rel = self._rf
+            if rel.pairs:
+                edges = ", ".join(f"{a}->{b}" for a, b in sorted(rel.pairs))
+                lines.append(f"{name}: {edges}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Execution |E|={len(self.events)} threads={len(self.threads)}>"

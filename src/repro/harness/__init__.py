@@ -1,0 +1,27 @@
+"""Experiment drivers regenerating the paper's tables and figures."""
+
+from .ablation import AblationResult, run_ablation
+from .export import export_suite
+from .figure7 import Figure7Result, run_figure7
+from .figures import FiguresResult, run_figures
+from .rtl_bug import RTLBugResult, run_rtl_bug
+from .table1 import Table1Result, Table1Row, run_table1
+from .table2 import Table2Result, Table2Row, run_table2
+
+__all__ = [
+    "AblationResult",
+    "run_ablation",
+    "Figure7Result",
+    "export_suite",
+    "FiguresResult",
+    "RTLBugResult",
+    "Table1Result",
+    "Table1Row",
+    "Table2Result",
+    "Table2Row",
+    "run_figure7",
+    "run_figures",
+    "run_rtl_bug",
+    "run_table1",
+    "run_table2",
+]

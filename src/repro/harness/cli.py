@@ -1,0 +1,93 @@
+"""Command-line driver: regenerate any of the paper's artifacts.
+
+Usage::
+
+    repro-harness table1 --arch x86 --events 4
+    repro-harness table2
+    repro-harness figure7 --arch x86 --events 4
+    repro-harness rtl-bug
+    repro-harness figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description=(
+            "Regenerate the tables and figures of 'The Semantics of "
+            "Transactions and Weak Memory in x86, Power, ARM, and C++' "
+            "(PLDI 2018)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_t1 = sub.add_parser("table1", help="synthesis + hardware validation")
+    p_t1.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
+    p_t1.add_argument("--events", type=int, default=4)
+    p_t1.add_argument("--time-budget", type=float, default=None)
+
+    sub.add_parser("table2", help="metatheory summary")
+
+    p_f7 = sub.add_parser("figure7", help="discovery-time distribution")
+    p_f7.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
+    p_f7.add_argument("--events", type=int, default=4)
+    p_f7.add_argument("--time-budget", type=float, default=None)
+
+    sub.add_parser("rtl-bug", help="the §6.2 buggy-RTL detection story")
+    sub.add_parser("figures", help="verdicts for every paper figure")
+
+    p_ab = sub.add_parser("ablation", help="per-axiom Forbid attribution")
+    p_ab.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
+    p_ab.add_argument("--events", type=int, default=3)
+
+    p_ex = sub.add_parser("export", help="write Forbid/Allow suites to disk")
+    p_ex.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
+    p_ex.add_argument("--events", type=int, default=3)
+    p_ex.add_argument("--out", default="suites")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        from .table1 import run_table1
+
+        print(run_table1(args.arch, args.events, args.time_budget).render())
+    elif args.command == "table2":
+        from .table2 import run_table2
+
+        print(run_table2().render())
+    elif args.command == "figure7":
+        from .figure7 import run_figure7
+
+        print(run_figure7(args.arch, args.events, args.time_budget).render())
+    elif args.command == "rtl-bug":
+        from .rtl_bug import run_rtl_bug
+
+        print(run_rtl_bug().render())
+    elif args.command == "figures":
+        from .figures import run_figures
+
+        print(run_figures().render())
+    elif args.command == "ablation":
+        from .ablation import run_ablation
+
+        print(run_ablation(args.arch, args.events).render())
+    elif args.command == "export":
+        from ..enumeration import synthesise
+        from .export import export_suite
+
+        synthesis = synthesise(args.arch, args.events)
+        manifest = export_suite(synthesis, args.out)
+        print(
+            f"exported {len(manifest['forbid'])} forbid + "
+            f"{len(manifest['allow'])} allow tests to {args.out}/"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Verdicts for every execution discussed in the paper.
+
+A one-stop regeneration of the paper's figure-level claims: each row
+names the execution (figure / section), the model judging it, the
+verdict our implementation computes, and the verdict the paper states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..catalog import classics, figures
+from ..models import get_model
+
+
+@dataclass(frozen=True)
+class FigureClaim:
+    label: str
+    model: str
+    expected_allowed: bool
+    execution_factory: object
+
+
+@dataclass
+class FiguresResult:
+    rows: list[tuple[FigureClaim, bool]] = field(default_factory=list)
+
+    @property
+    def all_match(self) -> bool:
+        return all(
+            claim.expected_allowed == got for claim, got in self.rows
+        )
+
+    def render(self) -> str:
+        lines = [
+            "Paper figures -- model verdicts",
+            f"{'execution':<34} {'model':<10} {'paper':<8} {'ours':<8} ok",
+        ]
+        for claim, got in self.rows:
+            expected = "allow" if claim.expected_allowed else "forbid"
+            actual = "allow" if got else "forbid"
+            ok = "OK" if expected == actual else "MISMATCH"
+            lines.append(
+                f"{claim.label:<34} {claim.model:<10} {expected:<8} "
+                f"{actual:<8} {ok}"
+            )
+        lines.append(
+            "all verdicts match the paper"
+            if self.all_match
+            else "SOME VERDICTS DIFFER FROM THE PAPER"
+        )
+        return "\n".join(lines)
+
+
+CLAIMS: tuple[FigureClaim, ...] = (
+    FigureClaim("Fig 1 (plain)", "x86", True, figures.fig1),
+    FigureClaim("Fig 2 (transactional)", "x86tm", False, figures.fig2),
+    FigureClaim("Fig 2 under baseline", "x86", True, figures.fig2),
+    FigureClaim("Fig 3a", "sc", True, figures.fig3a),
+    FigureClaim("Fig 3a", "tsc", False, figures.fig3a),
+    FigureClaim("Fig 3b", "sc", True, figures.fig3b),
+    FigureClaim("Fig 3b", "tsc", False, figures.fig3b),
+    FigureClaim("Fig 3c", "sc", True, figures.fig3c),
+    FigureClaim("Fig 3c", "tsc", False, figures.fig3c),
+    FigureClaim("Fig 3d", "sc", True, figures.fig3d),
+    FigureClaim("Fig 3d", "tsc", False, figures.fig3d),
+    FigureClaim("§5.2 (1) integrated barrier", "powertm", False,
+                figures.power_integrated_barrier),
+    FigureClaim("§5.2 (2) txn multicopy-atomic", "powertm", False,
+                figures.power_txn_multicopy_atomic),
+    FigureClaim("§5.2 (3) txn ordering", "powertm", False,
+                figures.power_txn_ordering),
+    FigureClaim("§5.2 (3) one txn (observed)", "powertm", True,
+                figures.power_txn_ordering_single),
+    FigureClaim("Remark 5.1 first", "powertm", True, figures.remark51_first),
+    FigureClaim("Remark 5.1 second", "powertm", True, figures.remark51_second),
+    FigureClaim("§8.1 split RMW", "powertm", False,
+                figures.monotonicity_split_rmw),
+    FigureClaim("§8.1 coalesced RMW", "powertm", True,
+                figures.monotonicity_joined_rmw),
+    FigureClaim("§8.1 split RMW", "armv8tm", False,
+                figures.monotonicity_split_rmw),
+    FigureClaim("§8.1 coalesced RMW", "armv8tm", True,
+                figures.monotonicity_joined_rmw),
+    FigureClaim("§9 comparison (MP-txn)", "cpptm", False,
+                figures.dongol_comparison),
+    FigureClaim("§9 comparison (MP-txn)", "powertm", False,
+                figures.dongol_comparison),
+    FigureClaim("Fig 10 / Ex 1.1 concrete", "armv8tm", True,
+                figures.fig10_concrete),
+    FigureClaim("Fig 10 after DMB fix", "armv8tm", False,
+                figures.fig10_concrete_fixed),
+    FigureClaim("§B second elision c'ex", "armv8tm", True,
+                figures.appendix_b_concrete),
+    FigureClaim("SB", "sc", False, classics.sb),
+    FigureClaim("SB", "x86", True, classics.sb),
+    FigureClaim("SB both txn", "x86tm", False, classics.sb_txn),
+    FigureClaim("MP+dmb, txn reader (§6.2)", "armv8tm", False,
+                classics.mp_txn_reader),
+)
+
+
+def run_figures() -> FiguresResult:
+    result = FiguresResult()
+    for claim in CLAIMS:
+        model = get_model(claim.model)
+        execution = claim.execution_factory()
+        result.rows.append((claim, model.consistent(execution)))
+    return result

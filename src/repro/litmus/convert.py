@@ -1,0 +1,261 @@
+"""Execution → litmus test (§2.2, §3.2).
+
+The construction follows the paper exactly:
+
+* each write is given a unique non-zero value per location, increasing
+  along ``co`` -- so checking the final memory value pins the co-maximal
+  write, and checking each register pins the intended rf edge;
+* reads become loads into fresh registers, and the postcondition asserts
+  each register holds the value of the write it observes (0 for reads of
+  the initial value);
+* dependency edges become register-flow annotations on the consuming
+  instruction;
+* ``rmw`` pairs collapse into a single :class:`Rmw` instruction;
+* transactions are wrapped in ``TxBegin``/``TxEnd`` and the
+  postcondition gains ``TxnsSucceeded`` (the ``ok = 1`` conjunct of
+  §3.2).
+
+Footnote 2 caveat: with three or more writes to one location, the final
+value alone does not pin the relative order of the non-final writes; the
+resulting test then admits any coherence completion (this matches what
+hardware can actually distinguish, and is recorded per test in
+:attr:`LitmusTest.co_fully_pinned`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events import FENCE, READ, WRITE, Execution
+from .postcondition import (
+    MemEquals,
+    Postcondition,
+    RegEquals,
+    TxnsSucceeded,
+)
+from .program import (
+    Fence,
+    Instruction,
+    Load,
+    LoadLinked,
+    Program,
+    Rmw,
+    Store,
+    StoreConditional,
+    TxBegin,
+    TxEnd,
+)
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A generated test: the program plus provenance metadata."""
+
+    program: Program
+    source: Execution
+    #: eid → value written (writes) / register name (reads)
+    write_values: dict[int, int]
+    read_registers: dict[int, tuple[int, str]]
+    #: False when footnote 2 applies (≥3 writes to one location).
+    co_fully_pinned: bool
+    #: location → written values in intended coherence order.  Physical
+    #: litmus runs cannot observe this beyond the final value; our
+    #: simulated machines can, which removes the footnote 2 ambiguity.
+    intended_co: dict[str, tuple[int, ...]]
+
+
+def execution_to_litmus(execution: Execution, name: str = "test") -> LitmusTest:
+    """Build the litmus test whose postcondition passes exactly when the
+    given execution is taken (§2.2)."""
+    write_values = _assign_write_values(execution)
+    read_sources = {r: w for w, r in execution.rf.pairs}
+
+    threads: list[list[Instruction]] = []
+    read_registers: dict[int, tuple[int, str]] = {}
+    post_atoms: list = []
+    reg_counter = 0
+
+    for tid, seq in enumerate(execution.threads):
+        body: list[Instruction] = []
+        open_txn: int | None = None
+        skip: set[int] = set()
+        split_rmws: dict[int, str] = {}
+        for pos, eid in enumerate(seq):
+            if eid in skip:
+                continue
+            event = execution.event(eid)
+            # Open/close transactions at class boundaries.
+            txn = execution.txn_of.get(eid)
+            if txn != open_txn:
+                if open_txn is not None:
+                    body.append(TxEnd())
+                if txn is not None:
+                    body.append(TxBegin(atomic=txn in execution.atomic_txns))
+                open_txn = txn
+            # Collapse rmw pairs into one instruction -- unless the pair
+            # straddles a transaction boundary (the TxnCancelsRMW shapes),
+            # in which case a split load-exclusive/store-exclusive pair is
+            # the faithful rendering.
+            rmw_writes = execution.rmw.successors(eid)
+            if event.kind == READ and rmw_writes:
+                write_eid = next(iter(rmw_writes))
+                reg = f"r{reg_counter}"
+                reg_counter += 1
+                read_registers[eid] = (tid, reg)
+                same_txn = execution.txn_of.get(eid) == execution.txn_of.get(
+                    write_eid
+                )
+                if same_txn:
+                    body.append(
+                        Rmw(
+                            reg=reg,
+                            loc=event.loc,
+                            value=write_values[write_eid],
+                            read_tags=event.tags,
+                            write_tags=execution.event(write_eid).tags,
+                            ctrl_regs=_dep_regs_for(
+                                execution, eid, "ctrl", read_registers
+                            ),
+                        )
+                    )
+                    skip.add(write_eid)
+                else:
+                    body.append(
+                        LoadLinked(
+                            reg=reg,
+                            loc=event.loc,
+                            tags=event.tags,
+                            ctrl_regs=_dep_regs_for(
+                                execution, eid, "ctrl", read_registers
+                            ),
+                        )
+                    )
+                    split_rmws[write_eid] = reg
+            elif eid in split_rmws and event.kind == WRITE:
+                body.append(
+                    StoreConditional(
+                        loc=event.loc,
+                        value=write_values[eid],
+                        link=split_rmws.pop(eid),
+                        tags=event.tags,
+                        ctrl_regs=_dep_regs_for(
+                            execution, eid, "ctrl", read_registers
+                        ),
+                    )
+                )
+            elif event.kind == READ:
+                reg = f"r{reg_counter}"
+                reg_counter += 1
+                read_registers[eid] = (tid, reg)
+                body.append(
+                    Load(
+                        reg=reg,
+                        loc=event.loc,
+                        tags=event.tags,
+                        addr_regs=_dep_regs_for(
+                            execution, eid, "addr", read_registers
+                        ),
+                        ctrl_regs=_dep_regs_for(
+                            execution, eid, "ctrl", read_registers
+                        ),
+                    )
+                )
+            elif event.kind == WRITE:
+                body.append(
+                    Store(
+                        loc=event.loc,
+                        value=write_values[eid],
+                        tags=event.tags,
+                        data_regs=_dep_regs_for(
+                            execution, eid, "data", read_registers
+                        ),
+                        addr_regs=_dep_regs_for(
+                            execution, eid, "addr", read_registers
+                        ),
+                        ctrl_regs=_dep_regs_for(
+                            execution, eid, "ctrl", read_registers
+                        ),
+                    )
+                )
+            elif event.kind == FENCE:
+                flavour = event.fence_flavour
+                body.append(
+                    Fence(
+                        flavour=flavour or "FENCE",
+                        tags=event.tags - {flavour} if flavour else event.tags,
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"cannot convert event kind {event.kind!r}; lock-call "
+                    "events are expanded by the §8.3 mapping first"
+                )
+        if open_txn is not None:
+            body.append(TxEnd())
+        threads.append(body)
+
+    # Postcondition: pin every rf edge ...
+    for eid, (tid, reg) in sorted(read_registers.items()):
+        src = read_sources.get(eid)
+        value = write_values[src] if src is not None else 0
+        post_atoms.append(RegEquals(tid, reg, value))
+    # ... and the co-maximal write of every location.
+    co_fully_pinned = True
+    for loc in execution.locations:
+        writes = execution.writes_to(loc)
+        if not writes:
+            continue
+        if len(writes) > 2:
+            co_fully_pinned = False
+        final = max(writes, key=lambda w: len(execution.co.predecessors(w)))
+        post_atoms.append(MemEquals(loc, write_values[final]))
+    if execution.txn_of:
+        post_atoms.append(TxnsSucceeded())
+
+    program = Program(
+        name=name,
+        threads=tuple(tuple(t) for t in threads),
+        postcondition=Postcondition(tuple(post_atoms)),
+    )
+    intended_co = {}
+    for loc in execution.locations:
+        writes = execution.writes_to(loc)
+        if writes:
+            ordered = sorted(
+                writes, key=lambda w: len(execution.co.predecessors(w))
+            )
+            intended_co[loc] = tuple(write_values[w] for w in ordered)
+    return LitmusTest(
+        program=program,
+        source=execution,
+        write_values=write_values,
+        read_registers=read_registers,
+        co_fully_pinned=co_fully_pinned,
+        intended_co=intended_co,
+    )
+
+
+def _assign_write_values(execution: Execution) -> dict[int, int]:
+    """Distinct non-zero values per location, increasing along co."""
+    values: dict[int, int] = {}
+    for loc in execution.locations:
+        writes = execution.writes_to(loc)
+        ordered = sorted(writes, key=lambda w: len(execution.co.predecessors(w)))
+        for index, eid in enumerate(ordered):
+            values[eid] = index + 1
+    return values
+
+
+def _dep_regs_for(
+    execution: Execution,
+    eid: int,
+    dep: str,
+    read_registers: dict[int, tuple[int, str]],
+) -> tuple[str, ...]:
+    """Registers feeding the given dependency kind into event ``eid``."""
+    rel = getattr(execution, dep)
+    regs = []
+    for src in sorted(rel.predecessors(eid)):
+        if src in read_registers:
+            regs.append(read_registers[src][1])
+    return tuple(regs)

@@ -1,0 +1,106 @@
+"""Execution diagrams: Graphviz DOT output mirroring the paper's figures.
+
+The paper communicates through execution diagrams -- events in
+per-thread columns, coloured edges for rf/co/fr/dependencies, boxes
+around transactions.  :func:`to_dot` emits the same picture as Graphviz
+source (renderable offline with ``dot -Tpdf``); :func:`edge_summary`
+gives a compact textual fallback used in logs.
+"""
+
+from __future__ import annotations
+
+from ..events import Execution
+
+_EDGE_STYLES = {
+    "rf": ("red", "solid"),
+    "co": ("blue", "solid"),
+    "fr": ("darkorange", "solid"),
+    "addr": ("darkgreen", "dashed"),
+    "ctrl": ("darkgreen", "dotted"),
+    "data": ("darkgreen", "solid"),
+    "rmw": ("purple", "bold"),
+}
+
+
+def _event_label(execution: Execution, eid: int) -> str:
+    event = execution.event(eid)
+    name = chr(ord("a") + eid) if eid < 26 else f"e{eid}"
+    body = event.kind
+    if event.loc is not None:
+        body += f" {event.loc}"
+    if event.tags:
+        body += "\\n" + ",".join(sorted(event.tags))
+    return f"{name}: {body}"
+
+
+def to_dot(execution: Execution, name: str = "execution") -> str:
+    """Render the execution as Graphviz DOT source."""
+    lines = [f"digraph {name} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append('  node [shape=plaintext, fontname="Helvetica"];')
+
+    # One cluster per thread; nested clusters for transactions.
+    for tid, seq in enumerate(execution.threads):
+        lines.append(f"  subgraph cluster_t{tid} {{")
+        lines.append(f'    label="thread {tid}"; color=gray;')
+        open_txn: int | None = None
+        for eid in seq:
+            txn = execution.txn_of.get(eid)
+            if txn != open_txn:
+                if open_txn is not None:
+                    lines.append("    }")
+                if txn is not None:
+                    style = (
+                        "bold" if txn in execution.atomic_txns else "solid"
+                    )
+                    lines.append(f"    subgraph cluster_txn{txn} {{")
+                    lines.append(
+                        f'      label="txn {txn}"; style={style}; color=black;'
+                    )
+                open_txn = txn
+            lines.append(
+                f'    n{eid} [label="{_event_label(execution, eid)}"];'
+            )
+        if open_txn is not None:
+            lines.append("    }")
+        # Invisible program-order spine keeps the column vertical.
+        for a, b in zip(seq, seq[1:]):
+            lines.append(f"    n{a} -> n{b} [color=black, label=po];")
+        lines.append("  }")
+
+    for rel_name in ("rf", "co", "fr", "addr", "ctrl", "data", "rmw"):
+        rel = getattr(execution, rel_name)
+        if rel_name == "co":
+            # Show only the immediate co edges to avoid clutter.
+            rel = rel - rel.compose(rel)
+        colour, style = _EDGE_STYLES[rel_name]
+        for a, b in sorted(rel.pairs):
+            if rel_name in ("addr", "ctrl", "data", "rmw") and (
+                a,
+                b,
+            ) in execution.po.pairs:
+                constraint = ", constraint=false"
+            else:
+                constraint = ", constraint=false"
+            lines.append(
+                f"  n{a} -> n{b} [color={colour}, style={style}, "
+                f"label={rel_name}{constraint}];"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def edge_summary(execution: Execution) -> str:
+    """A one-line-per-relation textual summary (for logs and tests)."""
+    def fmt(eid: int) -> str:
+        return chr(ord("a") + eid) if eid < 26 else f"e{eid}"
+
+    parts = []
+    for rel_name in ("rf", "co", "fr", "addr", "ctrl", "data", "rmw"):
+        rel = getattr(execution, rel_name)
+        if rel.pairs:
+            edges = " ".join(
+                f"{fmt(a)}->{fmt(b)}" for a, b in sorted(rel.pairs)
+            )
+            parts.append(f"{rel_name}: {edges}")
+    return "; ".join(parts) if parts else "(no edges)"

@@ -1,0 +1,325 @@
+"""A textual interchange format for litmus tests.
+
+The paper's companion material ships its generated tests as ``.litmus``
+files; this module provides the same for the reproduction: a writer and
+a parser for a line-oriented format that round-trips every construct of
+the instruction AST.
+
+Format::
+
+    litmus "name"
+    thread 0:
+      load r0 x [ACQ]
+      store x 1 data=r0 ctrl=r1
+      rmw r1 m 1 read[ACQ] status-ctrl
+      loadlinked r2 x
+      storecond x 2 link=r2
+      fence SYNC
+      txbegin atomic
+      abortunless r0 0
+      txend
+    thread 1:
+      ...
+    test: 0:r0=1 /\\ x=2 /\\ ok=1
+
+Lines are independent; indentation is cosmetic.  Tags go in ``[...]``
+after the operands; dependency annotations are ``key=reg`` pairs.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .postcondition import (
+    Atom,
+    MemEquals,
+    Postcondition,
+    RegEquals,
+    TxnsSucceeded,
+)
+from .program import (
+    AbortUnless,
+    Fence,
+    Instruction,
+    Load,
+    LoadLinked,
+    Program,
+    Rmw,
+    Store,
+    StoreConditional,
+    TxBegin,
+    TxEnd,
+)
+
+
+class LitmusFormatError(ValueError):
+    """Raised on malformed .litmus text."""
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def _tags(tags: frozenset[str]) -> str:
+    return f" [{','.join(sorted(tags))}]" if tags else ""
+
+
+def _deps(**kinds: tuple[str, ...]) -> str:
+    parts = []
+    for key, regs in kinds.items():
+        for reg in regs:
+            parts.append(f" {key}={reg}")
+    return "".join(parts)
+
+
+def _format_instruction(ins: Instruction) -> str:
+    if isinstance(ins, Load):
+        return (
+            f"load {ins.reg} {ins.loc}{_tags(ins.tags)}"
+            f"{_deps(addr=ins.addr_regs, ctrl=ins.ctrl_regs)}"
+        )
+    if isinstance(ins, Store):
+        return (
+            f"store {ins.loc} {ins.value}{_tags(ins.tags)}"
+            f"{_deps(data=ins.data_regs, addr=ins.addr_regs, ctrl=ins.ctrl_regs)}"
+        )
+    if isinstance(ins, Rmw):
+        out = f"rmw {ins.reg} {ins.loc} {ins.value}"
+        if ins.read_tags:
+            out += f" read[{','.join(sorted(ins.read_tags))}]"
+        if ins.write_tags:
+            out += f" write[{','.join(sorted(ins.write_tags))}]"
+        out += _deps(ctrl=ins.ctrl_regs)
+        if ins.status_ctrl:
+            out += " status-ctrl"
+        return out
+    if isinstance(ins, LoadLinked):
+        return (
+            f"loadlinked {ins.reg} {ins.loc}{_tags(ins.tags)}"
+            f"{_deps(ctrl=ins.ctrl_regs)}"
+        )
+    if isinstance(ins, StoreConditional):
+        return (
+            f"storecond {ins.loc} {ins.value} link={ins.link}"
+            f"{_tags(ins.tags)}{_deps(ctrl=ins.ctrl_regs)}"
+        )
+    if isinstance(ins, Fence):
+        return f"fence {ins.flavour}{_tags(ins.tags)}{_deps(ctrl=ins.ctrl_regs)}"
+    if isinstance(ins, TxBegin):
+        return "txbegin atomic" if ins.atomic else "txbegin"
+    if isinstance(ins, TxEnd):
+        return "txend"
+    if isinstance(ins, AbortUnless):
+        out = f"abortunless {ins.reg} {ins.expected}"
+        if ins.induce_ctrl:
+            out += " ctrl"
+        return out
+    raise TypeError(f"unknown instruction {ins!r}")
+
+
+def _format_atom(atom: Atom) -> str:
+    if isinstance(atom, RegEquals):
+        return f"{atom.tid}:{atom.reg}={atom.value}"
+    if isinstance(atom, MemEquals):
+        return f"{atom.loc}={atom.value}"
+    if isinstance(atom, TxnsSucceeded):
+        return "ok=1"
+    raise TypeError(f"unknown atom {atom!r}")
+
+
+def write_litmus(program: Program) -> str:
+    """Serialise a program to .litmus text."""
+    lines = [f'litmus "{program.name}"']
+    for tid, thread in enumerate(program.threads):
+        lines.append(f"thread {tid}:")
+        for ins in thread:
+            lines.append("  " + _format_instruction(ins))
+    atoms = " /\\ ".join(
+        _format_atom(a) for a in program.postcondition.atoms
+    )
+    lines.append(f"test: {atoms if atoms else 'true'}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_TAGS_RE = re.compile(r"^\[([A-Za-z_,]*)\]$")
+_DEP_RE = re.compile(r"^(addr|data|ctrl|link)=([A-Za-z_][A-Za-z0-9_]*)$")
+_RMW_TAGS_RE = re.compile(r"^(read|write)\[([A-Za-z_,]*)\]$")
+
+
+def _split_tags_and_deps(
+    tokens: list[str],
+) -> tuple[frozenset[str], dict[str, list[str]], list[str]]:
+    tags: set[str] = set()
+    deps: dict[str, list[str]] = {"addr": [], "data": [], "ctrl": [], "link": []}
+    rest: list[str] = []
+    for token in tokens:
+        tag_match = _TAGS_RE.match(token)
+        dep_match = _DEP_RE.match(token)
+        if tag_match:
+            tags.update(t for t in tag_match.group(1).split(",") if t)
+        elif dep_match:
+            deps[dep_match.group(1)].append(dep_match.group(2))
+        else:
+            rest.append(token)
+    return frozenset(tags), deps, rest
+
+
+def _parse_instruction(line: str, lineno: int) -> Instruction:
+    tokens = line.split()
+    op, args = tokens[0], tokens[1:]
+
+    def err(message: str) -> LitmusFormatError:
+        return LitmusFormatError(f"line {lineno}: {message}")
+
+    if op == "load":
+        if len(args) < 2:
+            raise err("load needs a register and a location")
+        tags, deps, rest = _split_tags_and_deps(args[2:])
+        if rest:
+            raise err(f"unexpected tokens {rest}")
+        return Load(
+            args[0], args[1], tags=tags,
+            addr_regs=tuple(deps["addr"]), ctrl_regs=tuple(deps["ctrl"]),
+        )
+    if op == "store":
+        if len(args) < 2:
+            raise err("store needs a location and a value")
+        tags, deps, rest = _split_tags_and_deps(args[2:])
+        if rest:
+            raise err(f"unexpected tokens {rest}")
+        return Store(
+            args[0], int(args[1]), tags=tags,
+            data_regs=tuple(deps["data"]), addr_regs=tuple(deps["addr"]),
+            ctrl_regs=tuple(deps["ctrl"]),
+        )
+    if op == "rmw":
+        if len(args) < 3:
+            raise err("rmw needs a register, a location, and a value")
+        read_tags: frozenset[str] = frozenset()
+        write_tags: frozenset[str] = frozenset()
+        status_ctrl = False
+        leftover = []
+        for token in args[3:]:
+            rmw_match = _RMW_TAGS_RE.match(token)
+            if rmw_match:
+                parsed = frozenset(
+                    t for t in rmw_match.group(2).split(",") if t
+                )
+                if rmw_match.group(1) == "read":
+                    read_tags = parsed
+                else:
+                    write_tags = parsed
+            elif token == "status-ctrl":
+                status_ctrl = True
+            else:
+                leftover.append(token)
+        _, deps, rest = _split_tags_and_deps(leftover)
+        if rest:
+            raise err(f"unexpected tokens {rest}")
+        return Rmw(
+            args[0], args[1], int(args[2]),
+            read_tags=read_tags, write_tags=write_tags,
+            ctrl_regs=tuple(deps["ctrl"]), status_ctrl=status_ctrl,
+        )
+    if op == "loadlinked":
+        tags, deps, rest = _split_tags_and_deps(args[2:])
+        if len(args) < 2 or rest:
+            raise err("malformed loadlinked")
+        return LoadLinked(
+            args[0], args[1], tags=tags, ctrl_regs=tuple(deps["ctrl"])
+        )
+    if op == "storecond":
+        tags, deps, rest = _split_tags_and_deps(args[2:])
+        if len(args) < 2 or rest or not deps["link"]:
+            raise err("malformed storecond (needs link=reg)")
+        return StoreConditional(
+            args[0], int(args[1]), link=deps["link"][0],
+            tags=tags, ctrl_regs=tuple(deps["ctrl"]),
+        )
+    if op == "fence":
+        if not args:
+            raise err("fence needs a flavour")
+        tags, deps, rest = _split_tags_and_deps(args[1:])
+        if rest:
+            raise err(f"unexpected tokens {rest}")
+        return Fence(args[0], tags=tags, ctrl_regs=tuple(deps["ctrl"]))
+    if op == "txbegin":
+        return TxBegin(atomic="atomic" in args)
+    if op == "txend":
+        return TxEnd()
+    if op == "abortunless":
+        if len(args) < 2:
+            raise err("abortunless needs a register and a value")
+        return AbortUnless(args[0], int(args[1]), induce_ctrl="ctrl" in args)
+    raise err(f"unknown instruction {op!r}")
+
+
+def _parse_atom(text: str, lineno: int) -> Atom:
+    text = text.strip()
+    if text == "ok=1":
+        return TxnsSucceeded()
+    reg_match = re.match(r"^(\d+):([A-Za-z_][A-Za-z0-9_]*)=(-?\d+)$", text)
+    if reg_match:
+        return RegEquals(
+            int(reg_match.group(1)), reg_match.group(2), int(reg_match.group(3))
+        )
+    mem_match = re.match(r"^([A-Za-z_][A-Za-z0-9_]*)=(-?\d+)$", text)
+    if mem_match:
+        return MemEquals(mem_match.group(1), int(mem_match.group(2)))
+    raise LitmusFormatError(f"line {lineno}: bad postcondition atom {text!r}")
+
+
+def parse_litmus(text: str) -> Program:
+    """Parse .litmus text into a program."""
+    name = "unnamed"
+    threads: list[list[Instruction]] = []
+    postcondition = Postcondition(())
+    current: list[Instruction] | None = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("litmus"):
+            match = re.match(r'^litmus\s+"([^"]*)"$', line)
+            if not match:
+                raise LitmusFormatError(f"line {lineno}: bad litmus header")
+            name = match.group(1)
+        elif line.startswith("thread"):
+            match = re.match(r"^thread\s+(\d+):$", line)
+            if not match:
+                raise LitmusFormatError(f"line {lineno}: bad thread header")
+            tid = int(match.group(1))
+            if tid != len(threads):
+                raise LitmusFormatError(
+                    f"line {lineno}: threads must be declared in order "
+                    f"(expected {len(threads)}, got {tid})"
+                )
+            current = []
+            threads.append(current)
+        elif line.startswith("test:"):
+            body = line[len("test:"):].strip()
+            if body == "true":
+                postcondition = Postcondition(())
+            else:
+                atoms = tuple(
+                    _parse_atom(part, lineno) for part in body.split("/\\")
+                )
+                postcondition = Postcondition(atoms)
+        else:
+            if current is None:
+                raise LitmusFormatError(
+                    f"line {lineno}: instruction outside a thread"
+                )
+            current.append(_parse_instruction(line, lineno))
+
+    return Program(
+        name=name,
+        threads=tuple(tuple(t) for t in threads),
+        postcondition=postcondition,
+    )

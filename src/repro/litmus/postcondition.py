@@ -1,0 +1,95 @@
+"""Postconditions: the "Test:" line of a litmus test (§2.2, §3.2).
+
+A postcondition is a conjunction of atoms over the final state:
+
+* ``RegEquals(tid, reg, value)`` -- a thread-local register holds the
+  value written by the store it was intended to observe;
+* ``MemEquals(loc, value)`` -- the final value of a memory location
+  (pinning the co-maximal write);
+* ``TxnsSucceeded()`` -- every transaction committed.  §3.2 encodes this
+  with an ``ok`` location zeroed in each fail handler and the conjunct
+  ``ok = 1``; keeping it symbolic here lets both the candidate pipeline
+  and the operational machine evaluate it directly, while the renderers
+  still print the ``ok`` encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class RegEquals:
+    tid: int
+    reg: str
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.tid}:{self.reg} = {self.value}"
+
+
+@dataclass(frozen=True)
+class MemEquals:
+    loc: str
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.loc} = {self.value}"
+
+
+@dataclass(frozen=True)
+class TxnsSucceeded:
+    def __str__(self) -> str:
+        return "ok = 1"
+
+
+Atom = RegEquals | MemEquals | TxnsSucceeded
+
+
+@dataclass(frozen=True)
+class Postcondition:
+    """A conjunction of atoms, evaluated against a final state."""
+
+    atoms: tuple[Atom, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "atoms", tuple(self.atoms))
+
+    def holds(
+        self,
+        registers: Mapping[tuple[int, str], int],
+        memory: Mapping[str, int],
+        all_txns_committed: bool = True,
+    ) -> bool:
+        """Evaluate the conjunction.
+
+        Args:
+            registers: final value of each ``(tid, reg)``; missing
+                registers default to 0.
+            memory: final value of each location; missing locations
+                default to 0.
+            all_txns_committed: whether every transaction in the run
+                committed (the ``ok`` flag of §3.2).
+        """
+        for atom in self.atoms:
+            if isinstance(atom, RegEquals):
+                if registers.get((atom.tid, atom.reg), 0) != atom.value:
+                    return False
+            elif isinstance(atom, MemEquals):
+                if memory.get(atom.loc, 0) != atom.value:
+                    return False
+            elif isinstance(atom, TxnsSucceeded):
+                if not all_txns_committed:
+                    return False
+            else:  # pragma: no cover - exhaustive match
+                raise TypeError(f"unknown atom {atom!r}")
+        return True
+
+    def __str__(self) -> str:
+        if not self.atoms:
+            return "true"
+        return " /\\ ".join(str(a) for a in self.atoms)
+
+    def __and__(self, other: "Postcondition") -> "Postcondition":
+        return Postcondition(self.atoms + other.atoms)

@@ -1,0 +1,296 @@
+"""Litmus-test programs: a small multi-threaded instruction AST.
+
+A litmus test is "a program with a postcondition" (§2.2).  Programs here
+are straight-line per thread -- exactly the fragment the paper's tooling
+produces -- with six instruction forms:
+
+* :class:`Load` / :class:`Store` -- shared-memory accesses with optional
+  acquire/release/SC/mode tags and dependency annotations;
+* :class:`Rmw` -- a *successful* atomic read-modify-write (LOCK'd
+  instruction / load-exclusive+store-exclusive pair), producing two
+  events linked by an ``rmw`` edge;
+* :class:`Fence` -- a barrier of some flavour;
+* :class:`TxBegin` / :class:`TxEnd` -- transaction delimiters (§3.2);
+* :class:`AbortUnless` -- the "load the lock and self-abort if taken"
+  idiom of lock elision (§1.1): constrains a register's value in any
+  execution where the transaction commits.
+
+Dependencies are annotated by naming the *register* they flow from: a
+``Store(..., data_regs=("r0",))`` is data-dependent on the load that
+defined ``r0``.  Store values are integer constants; following §2.2, a
+well-formed test gives each store to a location a distinct non-zero
+value so that rf and co can be identified from register/final values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .postcondition import Postcondition
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for litmus instructions."""
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``reg ← [loc]``."""
+
+    reg: str
+    loc: str
+    tags: frozenset[str] = field(default_factory=frozenset)
+    addr_regs: tuple[str, ...] = ()
+    ctrl_regs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", frozenset(self.tags))
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``[loc] ← value``."""
+
+    loc: str
+    value: int
+    tags: frozenset[str] = field(default_factory=frozenset)
+    data_regs: tuple[str, ...] = ()
+    addr_regs: tuple[str, ...] = ()
+    ctrl_regs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", frozenset(self.tags))
+
+
+@dataclass(frozen=True)
+class Rmw(Instruction):
+    """``reg ← [loc]; [loc] ← value`` atomically (and successfully).
+
+    ``status_ctrl`` models the exclusive-pair retry idiom (``stwcx.;
+    bne`` / ``STXR; CBNZ``): every later event of the thread becomes
+    control-dependent on the RMW's *write* half.  Power's model honours
+    such edges (Table 3, footnote 3); ARMv8's ignores them.
+    """
+
+    reg: str
+    loc: str
+    value: int
+    read_tags: frozenset[str] = field(default_factory=frozenset)
+    write_tags: frozenset[str] = field(default_factory=frozenset)
+    ctrl_regs: tuple[str, ...] = ()
+    status_ctrl: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "read_tags", frozenset(self.read_tags))
+        object.__setattr__(self, "write_tags", frozenset(self.write_tags))
+
+
+@dataclass(frozen=True)
+class LoadLinked(Instruction):
+    """A load-exclusive (LDAXR / lwarx): the read half of a split RMW.
+
+    Paired with the :class:`StoreConditional` naming the same register.
+    Used when an RMW's halves must straddle a transaction boundary
+    (the TxnCancelsRMW shapes of §5.2/§8.1); ordinary successful RMWs
+    should use :class:`Rmw`.
+    """
+
+    reg: str
+    loc: str
+    tags: frozenset[str] = field(default_factory=frozenset)
+    ctrl_regs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", frozenset(self.tags))
+
+
+@dataclass(frozen=True)
+class StoreConditional(Instruction):
+    """A store-exclusive (STXR / stwcx.) linked to a prior
+    :class:`LoadLinked` via ``link`` (its register).  The generated
+    execution assumes the store succeeds, adding an ``rmw`` edge."""
+
+    loc: str
+    value: int
+    link: str
+    tags: frozenset[str] = field(default_factory=frozenset)
+    ctrl_regs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", frozenset(self.tags))
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """A barrier of the given flavour (MFENCE, SYNC, DMB, ...)."""
+
+    flavour: str
+    tags: frozenset[str] = field(default_factory=frozenset)
+    ctrl_regs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", frozenset(self.tags))
+
+
+@dataclass(frozen=True)
+class TxBegin(Instruction):
+    """Start of a transaction (``txbegin Lfail``, §3.2)."""
+
+    atomic: bool = False  # a C++ atomic{} transaction (§7)
+
+
+@dataclass(frozen=True)
+class TxEnd(Instruction):
+    """Commit point of the innermost open transaction."""
+
+
+@dataclass(frozen=True)
+class AbortUnless(Instruction):
+    """Self-abort the enclosing transaction unless ``reg == expected``.
+
+    In any candidate execution where the enclosing transaction commits,
+    the register's value is constrained to ``expected``; in the
+    operational machine, the transaction aborts when the test fails.
+
+    ``induce_ctrl`` adds control dependencies from the load defining
+    ``reg`` to every later event of the transaction (real encodings
+    branch on the register; the paper's Lt mapping does not model that
+    edge, so the default is off).
+    """
+
+    reg: str
+    expected: int
+    induce_ctrl: bool = False
+
+
+@dataclass(frozen=True)
+class Program:
+    """A litmus-test program: threads of instructions plus a
+    postcondition over final registers and memory."""
+
+    name: str
+    threads: tuple[tuple[Instruction, ...], ...]
+    postcondition: Postcondition
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "threads", tuple(tuple(t) for t in self.threads)
+        )
+        problems = self.validation_errors()
+        if problems:
+            raise ValueError(
+                f"ill-formed litmus program {self.name!r}:\n  "
+                + "\n  ".join(problems)
+            )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validation_errors(self) -> list[str]:
+        problems: list[str] = []
+        for tid, thread in enumerate(self.threads):
+            defined: set[str] = set()
+            linked: set[str] = set()
+            depth = 0
+            for idx, ins in enumerate(thread):
+                where = f"T{tid}[{idx}]"
+                if isinstance(ins, (Load, Rmw, LoadLinked)):
+                    if ins.reg in defined:
+                        problems.append(f"{where}: register {ins.reg} redefined")
+                    defined.add(ins.reg)
+                if isinstance(ins, LoadLinked):
+                    linked.add(ins.reg)
+                if isinstance(ins, StoreConditional):
+                    if ins.link not in linked:
+                        problems.append(
+                            f"{where}: store-conditional without matching "
+                            f"load-linked {ins.link}"
+                        )
+                    else:
+                        linked.discard(ins.link)
+                for regs in _dep_regs(ins):
+                    for reg in regs:
+                        if reg not in defined:
+                            problems.append(
+                                f"{where}: dependency on undefined register {reg}"
+                            )
+                if isinstance(ins, TxBegin):
+                    if depth:
+                        problems.append(f"{where}: nested transaction")
+                    depth += 1
+                elif isinstance(ins, TxEnd):
+                    if not depth:
+                        problems.append(f"{where}: TxEnd without TxBegin")
+                    else:
+                        depth -= 1
+                elif isinstance(ins, AbortUnless):
+                    if not depth:
+                        problems.append(f"{where}: AbortUnless outside transaction")
+                    if ins.reg not in defined:
+                        problems.append(
+                            f"{where}: AbortUnless on undefined register {ins.reg}"
+                        )
+            if depth:
+                problems.append(f"T{tid}: unterminated transaction")
+        return problems
+
+    def distinct_value_warnings(self) -> list[str]:
+        """§2.2 wants each store to a location to write a distinct
+        non-zero value, so rf/co can be read off the final state.
+        Generated tests satisfy this by construction; hand-written
+        programs (e.g. spinlocks, whose unlock writes 0) need not, at
+        the cost of postconditions possibly under-constraining rf."""
+        problems = []
+        by_loc: dict[str, list[int]] = {}
+        for thread in self.threads:
+            for ins in thread:
+                if isinstance(ins, (Store, Rmw, StoreConditional)):
+                    by_loc.setdefault(ins.loc, []).append(ins.value)
+        for loc, values in by_loc.items():
+            if 0 in values:
+                problems.append(f"store of 0 to {loc} aliases the initial value")
+            if len(values) != len(set(values)):
+                problems.append(f"stores to {loc} reuse a value: {values}")
+        return problems
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def locations(self) -> tuple[str, ...]:
+        locs = set()
+        for thread in self.threads:
+            for ins in thread:
+                if isinstance(ins, (Load, Store, Rmw, LoadLinked, StoreConditional)):
+                    locs.add(ins.loc)
+        return tuple(sorted(locs))
+
+    def transaction_count(self) -> int:
+        return sum(
+            1
+            for thread in self.threads
+            for ins in thread
+            if isinstance(ins, TxBegin)
+        )
+
+    def instructions(self) -> Iterator[tuple[int, int, Instruction]]:
+        """Yield ``(tid, index, instruction)`` triples."""
+        for tid, thread in enumerate(self.threads):
+            for idx, ins in enumerate(thread):
+                yield tid, idx, ins
+
+
+def _dep_regs(ins: Instruction) -> list[tuple[str, ...]]:
+    """All dependency-register tuples mentioned by an instruction."""
+    regs: list[tuple[str, ...]] = []
+    if isinstance(ins, Load):
+        regs = [ins.addr_regs, ins.ctrl_regs]
+    elif isinstance(ins, Store):
+        regs = [ins.data_regs, ins.addr_regs, ins.ctrl_regs]
+    elif isinstance(ins, (Rmw, Fence, LoadLinked, StoreConditional)):
+        regs = [ins.ctrl_regs]
+    return regs

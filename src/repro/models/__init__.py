@@ -1,0 +1,29 @@
+"""The paper's memory models: SC/TSC, x86, Power, ARMv8, C++ (§3, §5–7)."""
+
+from .armv8 import ARMv8Model
+from .base import MemoryModel
+from .cpp import CppModel
+from .isolation import (
+    strongly_isolated,
+    strongly_isolated_atomic,
+    weakly_isolated,
+)
+from .power import PowerModel
+from .registry import get_model, model_names
+from .sc import SCModel, TSCModel
+from .x86 import X86Model
+
+__all__ = [
+    "ARMv8Model",
+    "CppModel",
+    "MemoryModel",
+    "PowerModel",
+    "SCModel",
+    "TSCModel",
+    "X86Model",
+    "get_model",
+    "model_names",
+    "strongly_isolated",
+    "strongly_isolated_atomic",
+    "weakly_isolated",
+]

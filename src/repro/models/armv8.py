@@ -1,0 +1,130 @@
+"""The ARMv8 memory model with the proposed TM extension (Fig. 8).
+
+The baseline is the official multicopy-atomic ARMv8 axiomatic model
+(Deacon's aarch64.cat; Pulte et al., POPL 2018).  Fig. 8 elides the
+``dob``/``aob``/``bob`` definitions; they are implemented in full here.
+
+Baseline axioms::
+
+    acyclic(poloc ∪ com)                                  (Coherence)
+    acyclic(ob)                                           (Order)
+      where ob = come ∪ dob ∪ aob ∪ bob
+    empty(rmw ∩ (fre ; coe))                              (RMWIsol)
+
+TM additions (highlighted in Fig. 8; the extension is unofficial, based
+on a proposal within ARM Research):
+
+* ``tfence`` joins ``ob``,
+* ``StrongIsol``, ``TxnOrder`` (on ``ob``), and ``TxnCancelsRMW``.
+
+This is the model under which lock elision is unsound (Example 1.1,
+Fig. 10): an acquire-load spinlock does not order the lock read before
+program-order-later accesses strongly enough once transactions exist.
+"""
+
+from __future__ import annotations
+
+from ..events import Execution
+from ..relations import Relation
+from .base import AxiomThunk, MemoryModel, Memo
+from .common import (
+    coherence_ok,
+    rmw_isolation_ok,
+    strong_isolation_ok,
+    txn_cancels_rmw_ok,
+    txn_order_ok,
+)
+
+
+class ARMv8Model(MemoryModel):
+    """ARMv8, optionally with the paper's (unofficial) TM axioms."""
+
+    def __init__(self, transactional: bool = True):
+        self.is_transactional = transactional
+        self.name = "ARMv8+TM" if transactional else "ARMv8"
+
+    def baseline(self) -> MemoryModel:
+        return ARMv8Model(transactional=False) if self.is_transactional else self
+
+    # ------------------------------------------------------------------
+    # Ordered-before components (aarch64.cat)
+    # ------------------------------------------------------------------
+
+    def dob(self, x: Execution) -> Relation:
+        """Dependency-ordered-before.
+
+        Unlike Power (Table 3, footnote 3), ARMv8 recognises no
+        dependency through a store-exclusive's success flag: ``ctrl``
+        edges sourced at writes are ignored here.  This asymmetry is
+        what makes the ARM spinlock elidable-unsafe (Example 1.1) while
+        Power's ctrl-isync idiom orders more strongly.
+        """
+        w_id = Relation.from_set(x.writes, x.eids)
+        r_id = Relation.from_set(x.reads, x.eids)
+        ctrl = r_id.compose(x.ctrl)  # read-sourced only
+        addr_po = x.addr.compose(x.po)
+        # (ctrl | addr;po); [ISB]; po; [R]: approximated as the pairs that
+        # are both dependency-reachable and separated by an ISB event.
+        isb_order = ((ctrl | addr_po) & x.isb).compose(r_id)
+        return (
+            x.addr
+            | x.data
+            | ctrl.compose(w_id)
+            | isb_order
+            | addr_po.compose(w_id)
+            | (ctrl | x.data).compose(x.coi)
+            | (x.addr | x.data).compose(x.rfi)
+        )
+
+    def aob(self, x: Execution) -> Relation:
+        """Atomic-ordered-before."""
+        exclusive_writes = Relation.from_set(x.rmw.range(), x.eids)
+        acq_id = Relation.from_set(x.acq, x.eids)
+        return x.rmw | exclusive_writes.compose(x.rfi).compose(acq_id)
+
+    def bob(self, x: Execution) -> Relation:
+        """Barrier-ordered-before."""
+        r_id = Relation.from_set(x.reads, x.eids)
+        w_id = Relation.from_set(x.writes, x.eids)
+        acq_id = Relation.from_set(x.acq, x.eids)
+        rel_id = Relation.from_set(x.rel, x.eids)
+        po_rel = x.po.compose(rel_id)
+        return (
+            x.dmb
+            | r_id.compose(x.dmbld)
+            | w_id.compose(x.dmbst).compose(w_id)
+            | acq_id.compose(x.po)
+            | po_rel
+            | po_rel.compose(x.coi)
+            | rel_id.compose(x.po).compose(acq_id)
+        )
+
+    def ob(self, x: Execution) -> Relation:
+        """Ordered-before (Fig. 8): ``come ∪ dob ∪ aob ∪ bob`` plus, in
+        the TM extension, ``tfence``."""
+        out = x.come | self.dob(x) | self.aob(x) | self.bob(x)
+        if self.is_transactional:
+            out = out | x.tfence
+        return out
+
+    # ------------------------------------------------------------------
+    # Axioms
+    # ------------------------------------------------------------------
+
+    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
+        memo = Memo()
+        ob = lambda: memo.get("ob", lambda: self.ob(x))
+        thunks: list[AxiomThunk] = [
+            ("Coherence", lambda: coherence_ok(x)),
+            ("RMWIsol", lambda: rmw_isolation_ok(x)),
+            ("Order", lambda: ob().is_acyclic()),
+        ]
+        if self.is_transactional:
+            thunks.extend(
+                [
+                    ("StrongIsol", lambda: strong_isolation_ok(x)),
+                    ("TxnOrder", lambda: txn_order_ok(x, ob())),
+                    ("TxnCancelsRMW", lambda: txn_cancels_rmw_ok(x)),
+                ]
+            )
+        return thunks

@@ -1,0 +1,70 @@
+"""Memory-model interface.
+
+A memory model is a named set of axioms over executions (§2).  Concrete
+models provide :meth:`MemoryModel.axiom_thunks`, a list of named,
+lazily-evaluated axiom checks; consistency is their conjunction.  Thunks
+share work through a per-call memo table so that, e.g., Power's ``hb``
+is computed once even though three axioms mention it -- and is not
+computed at all if the cheap Coherence axiom already fails (the common
+case inside enumeration loops).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from ..events import Execution
+
+AxiomThunk = tuple[str, Callable[[], bool]]
+
+
+class MemoryModel(abc.ABC):
+    """Base class for all axiomatic models in this reproduction."""
+
+    #: Human-readable name, e.g. ``"x86+TM"``.
+    name: str = "abstract"
+
+    #: Whether the model includes the paper's TM axioms.
+    is_transactional: bool = False
+
+    @abc.abstractmethod
+    def axiom_thunks(self, execution: Execution) -> list[AxiomThunk]:
+        """Named axiom checks, cheapest first."""
+
+    def consistent(self, execution: Execution) -> bool:
+        """Does the execution satisfy every axiom?"""
+        return all(thunk() for _, thunk in self.axiom_thunks(execution))
+
+    def violated_axioms(self, execution: Execution) -> list[str]:
+        """Names of all axioms the execution violates (for diagnostics)."""
+        return [
+            name for name, thunk in self.axiom_thunks(execution) if not thunk()
+        ]
+
+    def baseline(self) -> "MemoryModel":
+        """The non-transactional model this one extends (§5.3 compares the
+        TM models against these).  Non-TM models return themselves."""
+        return self
+
+    def allows(self, execution: Execution) -> bool:
+        """Alias for :meth:`consistent`, reading like the paper's prose."""
+        return self.consistent(execution)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MemoryModel {self.name}>"
+
+
+class Memo:
+    """A tiny call-scoped memo table for sharing derived relations
+    between axiom thunks."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self) -> None:
+        self._store: dict[str, object] = {}
+
+    def get(self, key: str, compute: Callable[[], object]) -> object:
+        if key not in self._store:
+            self._store[key] = compute()
+        return self._store[key]

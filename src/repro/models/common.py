@@ -1,0 +1,43 @@
+"""Axiom fragments shared between the architecture models.
+
+Fig. 5 (x86), Fig. 6 (Power) and Fig. 8 (ARMv8) share several axioms
+verbatim; they are factored out here:
+
+* ``Coherence``:  ``acyclic(poloc ∪ com)``
+* ``RMWIsol``:    ``empty(rmw ∩ (fre ; coe))``
+* ``StrongIsol``: ``acyclic(stronglift(com, stxn))`` (§3.3)
+* ``TxnCancelsRMW``: ``empty(rmw ∩ tfence*)`` (Power/ARMv8 only)
+"""
+
+from __future__ import annotations
+
+from ..events import Execution
+from ..relations import Relation, stronglift
+
+
+def coherence_ok(x: Execution) -> bool:
+    """``acyclic(poloc ∪ com)`` -- SC-per-location."""
+    return (x.poloc | x.com).is_acyclic()
+
+
+def rmw_isolation_ok(x: Execution) -> bool:
+    """``empty(rmw ∩ (fre ; coe))`` -- no write intervenes between the
+    two halves of an atomic read-modify-write."""
+    return (x.rmw & x.fre.compose(x.coe)).is_empty()
+
+
+def strong_isolation_ok(x: Execution) -> bool:
+    """``acyclic(stronglift(com, stxn))`` -- the StrongIsol axiom."""
+    return stronglift(x.com, x.stxn).is_acyclic()
+
+
+def txn_order_ok(x: Execution, hb: Relation) -> bool:
+    """``acyclic(stronglift(hb, stxn))`` -- the TxnOrder axiom, for the
+    model-specific happens-before/ordered-before relation."""
+    return stronglift(hb, x.stxn).is_acyclic()
+
+
+def txn_cancels_rmw_ok(x: Execution) -> bool:
+    """``empty(rmw ∩ tfence*)`` -- an RMW whose halves straddle a
+    transaction boundary always fails (Power §5.2, ARMv8 §6.1)."""
+    return (x.rmw & x.tfence.reflexive_transitive_closure()).is_empty()

@@ -1,0 +1,179 @@
+"""The C++ memory model with transactions (Fig. 9, §7).
+
+The baseline is RC11 (Lahav et al., PLDI 2017) -- the paper builds on it
+because its fixed SC semantics makes compilation to Power sound, which
+§8.2 needs.  Fig. 9 elides the synchronises-with (``sw``) and ``psc``
+definitions; both are implemented in full here.
+
+Consistency axioms::
+
+    irreflexive(hb ; com*)                                (HbCom)
+    empty(rmw ∩ (fre ; coe))                              (RMWIsol)
+    acyclic(po ∪ rf)                                      (NoThinAir)
+    acyclic(psc)                                          (SeqCst)
+
+Race freedom (a separate predicate -- racy programs are undefined)::
+
+    empty(cnf \\ Ato² \\ (hb ∪ hb⁻¹))                      (NoRace)
+      where cnf = ((W×W) ∪ (R×W) ∪ (W×R)) ∩ sloc \\ id
+
+TM additions (§7.2, highlighted in Fig. 9): transactions synchronise in
+*extended communication* order, avoiding the specification's total order
+over transactions::
+
+    ecom = com ∪ (co ; rf)
+    tsw  = weaklift(ecom, stxn)
+    hb   = (sw ∪ tsw ∪ po)+
+
+Atomic transactions (``stxnat``) add no axiom: Theorem 7.2 shows they are
+strongly isolated *for free* in race-free programs, because they may not
+contain atomic operations.
+"""
+
+from __future__ import annotations
+
+from ..events import Execution
+from ..relations import Relation, weaklift
+from .base import AxiomThunk, MemoryModel, Memo
+from .common import rmw_isolation_ok
+
+
+class CppModel(MemoryModel):
+    """RC11 C++, optionally with the paper's TM extension."""
+
+    def __init__(self, transactional: bool = True):
+        self.is_transactional = transactional
+        self.name = "C+++TM" if transactional else "C++"
+
+    def baseline(self) -> MemoryModel:
+        return CppModel(transactional=False) if self.is_transactional else self
+
+    # ------------------------------------------------------------------
+    # Synchronisation (RC11)
+    # ------------------------------------------------------------------
+
+    def release_sequence(self, x: Execution) -> Relation:
+        """``rs = [W] ; (poloc ∩ (W×W))? ; [W ∩ Ato] ; (rf ; rmw)*``."""
+        w_id = Relation.from_set(x.writes, x.eids)
+        w_ato = Relation.from_set(x.writes & x.atomics, x.eids)
+        same_loc_ww = (x.poloc & Relation.cross(x.writes, x.writes, x.eids)).optional()
+        rmw_chain = x.rf.compose(x.rmw).reflexive_transitive_closure()
+        return w_id.compose(same_loc_ww).compose(w_ato).compose(rmw_chain)
+
+    def sw(self, x: Execution) -> Relation:
+        """Synchronises-with:
+        ``sw = [Rel] ; ([F] ; po)? ; rs ; rf ; [R ∩ Ato] ; (po ; [F])? ; [Acq]``.
+        """
+        rel_id = Relation.from_set(x.rel, x.eids)
+        acq_id = Relation.from_set(x.acq, x.eids)
+        fence_id = Relation.from_set(x.fences, x.eids)
+        r_ato = Relation.from_set(x.reads & x.atomics, x.eids)
+        pre = fence_id.compose(x.po).optional()
+        post = x.po.compose(fence_id).optional()
+        return (
+            rel_id.compose(pre)
+            .compose(self.release_sequence(x))
+            .compose(x.rf)
+            .compose(r_ato)
+            .compose(post)
+            .compose(acq_id)
+        )
+
+    def ecom(self, x: Execution) -> Relation:
+        """Extended communication (§7.2): ``com ∪ (co ; rf)``."""
+        return x.com | x.co.compose(x.rf)
+
+    def tsw(self, x: Execution) -> Relation:
+        """Transactional synchronises-with (§7.2)."""
+        return weaklift(self.ecom(x), x.stxn)
+
+    def hb(self, x: Execution) -> Relation:
+        """``hb = (sw ∪ tsw ∪ po)+`` (``tsw`` only in the TM model)."""
+        base = self.sw(x) | x.po
+        if self.is_transactional:
+            base = base | self.tsw(x)
+        return base.transitive_closure()
+
+    # ------------------------------------------------------------------
+    # SC axiom (RC11 psc)
+    # ------------------------------------------------------------------
+
+    def eco(self, x: Execution) -> Relation:
+        """``eco = com+ = rf ∪ co ∪ fr ∪ (co;rf) ∪ (fr;rf)``."""
+        return x.com.transitive_closure()
+
+    def psc(self, x: Execution, hb: Relation) -> Relation:
+        """The RC11 partial-SC relation."""
+        sc_id = Relation.from_set(x.sc_events, x.eids)
+        sc_fences = x.sc_events & x.fences
+        f_sc = Relation.from_set(sc_fences, x.eids)
+        hb_opt = hb.optional()
+
+        po_neq_loc = x.po - x.sloc
+        hb_loc = hb & x.sloc
+        scb = (
+            x.po
+            | po_neq_loc.compose(hb).compose(po_neq_loc)
+            | hb_loc
+            | x.co
+            | x.fr
+        )
+        ends_left = sc_id | f_sc.compose(hb_opt)
+        ends_right = sc_id | hb_opt.compose(f_sc)
+        psc_base = ends_left.compose(scb).compose(ends_right)
+        eco = self.eco(x)
+        psc_fence = f_sc.compose(hb | hb.compose(eco).compose(hb)).compose(f_sc)
+        return psc_base | psc_fence
+
+    # ------------------------------------------------------------------
+    # Races (the separate NoRace predicate of Fig. 9)
+    # ------------------------------------------------------------------
+
+    def conflicts(self, x: Execution) -> Relation:
+        """``cnf = ((W×W) ∪ (R×W) ∪ (W×R)) ∩ sloc \\ id``."""
+        w, r = x.writes, x.reads
+        shapes = (
+            Relation.cross(w, w, x.eids)
+            | Relation.cross(r, w, x.eids)
+            | Relation.cross(w, r, x.eids)
+        )
+        return (shapes & x.sloc).irreflexive_part()
+
+    def races(self, x: Execution) -> Relation:
+        """Pairs witnessing a data race: conflicting, not both atomic,
+        unordered by happens-before."""
+        hb = self.hb(x)
+        ato = x.atomics
+        both_atomic = Relation.cross(ato, ato, x.eids)
+        return self.conflicts(x) - both_atomic - (hb | hb.inverse())
+
+    def race_free(self, x: Execution) -> bool:
+        """The NoRace predicate."""
+        return self.races(x).is_empty()
+
+    # ------------------------------------------------------------------
+    # Axioms
+    # ------------------------------------------------------------------
+
+    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
+        memo = Memo()
+        hb = lambda: memo.get("hb", lambda: self.hb(x))
+        com_star = lambda: memo.get(
+            "com_star", lambda: x.com.reflexive_transitive_closure()
+        )
+        return [
+            ("NoThinAir", lambda: (x.po | x.rf).is_acyclic()),
+            ("RMWIsol", lambda: rmw_isolation_ok(x)),
+            ("HbCom", lambda: hb().compose(com_star()).is_irreflexive()),
+            ("SeqCst", lambda: self.psc(x, hb()).is_acyclic()),
+        ]
+
+    # ------------------------------------------------------------------
+    # Allowed behaviour: consistency + race-freedom caveat
+    # ------------------------------------------------------------------
+
+    def allowed_and_race_free(self, x: Execution) -> bool:
+        """Convenience: the execution is consistent and exhibits no race
+        (callers deciding program-level verdicts must remember that *one*
+        racy consistent execution makes the whole program undefined)."""
+        return self.consistent(x) and self.race_free(x)

@@ -1,0 +1,30 @@
+"""Weak and strong isolation as standalone predicates (§3.3).
+
+These are used directly in tests of the Fig. 3 executions, by the
+property-based "models lie between isolation and TSC" tests (§3.4), and
+to *derive* WeakIsol for C++ relaxed transactions (§7.2 notes WeakIsol
+follows from the other C++ axioms -- we check that claim by enumeration).
+"""
+
+from __future__ import annotations
+
+from ..events import Execution
+from ..relations import stronglift, weaklift
+
+
+def weakly_isolated(x: Execution) -> bool:
+    """``acyclic(weaklift(com, stxn))`` -- transactions are isolated from
+    other transactions."""
+    return weaklift(x.com, x.stxn).is_acyclic()
+
+
+def strongly_isolated(x: Execution) -> bool:
+    """``acyclic(stronglift(com, stxn))`` -- transactions are also
+    isolated from non-transactional code."""
+    return stronglift(x.com, x.stxn).is_acyclic()
+
+
+def strongly_isolated_atomic(x: Execution) -> bool:
+    """``acyclic(stronglift(com, stxnat))`` -- the conclusion of
+    Theorem 7.2 (strong isolation for C++ *atomic* transactions)."""
+    return stronglift(x.com, x.stxnat).is_acyclic()

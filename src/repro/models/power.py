@@ -1,0 +1,198 @@
+"""The Power memory model with Power TM (Fig. 6).
+
+The baseline is the herding-cats Power model of Alglave, Maranget &
+Tautschnig (2014).  Fig. 6 elides the preserved-program-order (``ppo``)
+definition "as it is complex and unchanged by our TM additions"; we
+implement the full herding-cats recursion here so the model is usable on
+dependency-bearing litmus tests (MP+dep, WRC+addr, ...).
+
+Baseline axioms::
+
+    acyclic(poloc ∪ com)                                  (Coherence)
+    empty(rmw ∩ (fre ; coe))                              (RMWIsol)
+    acyclic(hb)                                           (Order)
+    acyclic(co ∪ prop)                                    (Propagation)
+    irreflexive(fre ; prop ; hb*)                         (Observation)
+
+TM additions (highlighted in Fig. 6):
+
+* ``tfence`` joins the fence relation (implicit barriers at transaction
+  boundaries, Power ISA §1.8);
+* ``thb`` -- transactions serialise in an order that no thread may
+  contradict; ``weaklift(thb, stxn)`` joins ``hb``;
+* ``tprop1 = rfe ; stxn ; [W]`` -- the transaction's "integrated memory
+  barrier": writes it observed propagate before its own writes;
+* ``tprop2 = stxn ; rfe`` -- transactional writes are multicopy-atomic;
+* ``StrongIsol``, ``TxnOrder``, and ``TxnCancelsRMW``.
+"""
+
+from __future__ import annotations
+
+from ..events import Execution
+from ..relations import Relation, stronglift, weaklift
+from .base import AxiomThunk, MemoryModel, Memo
+from .common import (
+    coherence_ok,
+    rmw_isolation_ok,
+    strong_isolation_ok,
+    txn_cancels_rmw_ok,
+    txn_order_ok,
+)
+
+
+class PowerModel(MemoryModel):
+    """Power, optionally with the paper's TM axioms."""
+
+    def __init__(self, transactional: bool = True):
+        self.is_transactional = transactional
+        self.name = "Power+TM" if transactional else "Power"
+
+    def baseline(self) -> MemoryModel:
+        return PowerModel(transactional=False) if self.is_transactional else self
+
+    # ------------------------------------------------------------------
+    # Preserved program order (herding-cats §6, power.cat)
+    # ------------------------------------------------------------------
+
+    def ppo(self, x: Execution) -> Relation:
+        """The full herding-cats ppo recursion.
+
+        ``ii``/``ic``/``ci``/``cc`` relate the *init* (i) or *commit* (c)
+        parts of instruction pairs; the fixpoint is computed by simple
+        iteration, which terminates because each relation only grows
+        within a finite universe.
+        """
+        dp = x.addr | x.data
+        rdw = x.poloc & x.fre.compose(x.rfe)
+        detour = x.poloc & x.coe.compose(x.rfe)
+        ctrl_isync = x.ctrl & x.isync
+
+        ii0 = dp | rdw | x.rfi
+        ci0 = ctrl_isync | detour
+        ic0 = Relation.empty(x.eids)
+        cc0 = dp | x.poloc | x.ctrl | x.addr.compose(x.po)
+
+        ii, ic, ci, cc = ii0, ic0, ci0, cc0
+        while True:
+            ii2 = ii0 | ci | ic.compose(ci) | ii.compose(ii)
+            ic2 = ic0 | ii | cc | ic.compose(cc) | ii.compose(ic)
+            ci2 = ci0 | ci.compose(ii) | cc.compose(ci)
+            cc2 = cc0 | ci | ci.compose(ic) | cc.compose(cc)
+            if (ii2, ic2, ci2, cc2) == (ii, ic, ci, cc):
+                break
+            ii, ic, ci, cc = ii2, ic2, ci2, cc2
+
+        reads, writes = x.reads, x.writes
+        return (
+            ii.restrict(reads, reads)
+            | ic.restrict(reads, writes)
+            | self._store_exclusive_ctrl(x)
+        )
+
+    def _store_exclusive_ctrl(self, x: Execution) -> Relation:
+        """Table 3, footnote 3: in Power, ctrl edges can begin at a
+        store-exclusive (the spinlock's ``bne`` tests the stwcx. success
+        flag).  Such a dependency orders the store-exclusive before
+        later *stores*, and -- when an isync intervenes (ctrl-isync) --
+        before every later access.  This is the mechanism that makes the
+        Power spinlock stronger than ARMv8's in §8.3."""
+        wex = Relation.from_set(x.rmw.range(), x.eids)
+        wex_ctrl = wex.compose(x.ctrl)
+        w_id = Relation.from_set(x.writes, x.eids)
+        return (wex_ctrl & x.isync) | wex_ctrl.compose(w_id)
+
+    # ------------------------------------------------------------------
+    # Fences and happens-before (Fig. 6)
+    # ------------------------------------------------------------------
+
+    def fence(self, x: Execution) -> Relation:
+        """``fence = sync ∪ tfence ∪ (lwsync \\ (W × R))``."""
+        lwsync_effective = x.lwsync - Relation.cross(x.writes, x.reads, x.eids)
+        out = x.sync | lwsync_effective
+        if self.is_transactional:
+            out = out | x.tfence
+        return out
+
+    def ihb(self, x: Execution) -> Relation:
+        """Intra-thread happens-before: ``ppo ∪ fence``."""
+        return self.ppo(x) | self.fence(x)
+
+    def thb(self, x: Execution) -> Relation:
+        """Transaction happens-before (§5.2, Transaction Ordering):
+        ``thb = (rfe ∪ ((fre ∪ coe)* ; ihb))* ; (fre ∪ coe)* ; rfe?``.
+
+        Chains of ihb and external communication, excluding those where
+        an fre/coe is followed by an rfe that does not end the chain --
+        such shapes give no ordering on a non-multicopy-atomic machine.
+        """
+        ihb = self.ihb(x)
+        fc = (x.fre | x.coe).reflexive_transitive_closure()
+        head = (x.rfe | fc.compose(ihb)).reflexive_transitive_closure()
+        return head.compose(fc).compose(x.rfe.optional())
+
+    def hb(self, x: Execution) -> Relation:
+        """``hb = (rfe? ; ihb ; rfe?) ∪ weaklift(thb, stxn)``."""
+        ihb = self.ihb(x)
+        rfe_opt = x.rfe.optional()
+        base = rfe_opt.compose(ihb).compose(rfe_opt)
+        if self.is_transactional:
+            base = base | weaklift(self.thb(x), x.stxn)
+        return base
+
+    # ------------------------------------------------------------------
+    # Propagation (Fig. 6)
+    # ------------------------------------------------------------------
+
+    def prop(self, x: Execution, hb: Relation) -> Relation:
+        fence = self.fence(x)
+        rfe_opt = x.rfe.optional()
+        efence = rfe_opt.compose(fence).compose(rfe_opt)
+        hb_star = hb.reflexive_transitive_closure()
+        w_id = Relation.from_set(x.writes, x.eids)
+
+        prop1 = w_id.compose(efence).compose(hb_star).compose(w_id)
+        heavy = x.sync | x.tfence if self.is_transactional else x.sync
+        prop2 = (
+            x.come.reflexive_transitive_closure()
+            .compose(efence.reflexive_transitive_closure())
+            .compose(hb_star)
+            .compose(heavy)
+            .compose(hb_star)
+        )
+        out = prop1 | prop2
+        if self.is_transactional:
+            tprop1 = x.rfe.compose(x.stxn).compose(w_id)
+            tprop2 = x.stxn.compose(x.rfe)
+            out = out | tprop1 | tprop2
+        return out
+
+    # ------------------------------------------------------------------
+    # Axioms
+    # ------------------------------------------------------------------
+
+    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
+        memo = Memo()
+        hb = lambda: memo.get("hb", lambda: self.hb(x))
+        prop = lambda: memo.get("prop", lambda: self.prop(x, hb()))
+        hb_star = lambda: memo.get(
+            "hb_star", lambda: hb().reflexive_transitive_closure()
+        )
+        thunks: list[AxiomThunk] = [
+            ("Coherence", lambda: coherence_ok(x)),
+            ("RMWIsol", lambda: rmw_isolation_ok(x)),
+            ("Order", lambda: hb().is_acyclic()),
+            ("Propagation", lambda: (x.co | prop()).is_acyclic()),
+            (
+                "Observation",
+                lambda: x.fre.compose(prop()).compose(hb_star()).is_irreflexive(),
+            ),
+        ]
+        if self.is_transactional:
+            thunks.extend(
+                [
+                    ("StrongIsol", lambda: strong_isolation_ok(x)),
+                    ("TxnOrder", lambda: txn_order_ok(x, hb())),
+                    ("TxnCancelsRMW", lambda: txn_cancels_rmw_ok(x)),
+                ]
+            )
+        return thunks

@@ -1,0 +1,38 @@
+"""Name → model lookup used by the CLI, benchmarks and the cat loader."""
+
+from __future__ import annotations
+
+from .armv8 import ARMv8Model
+from .base import MemoryModel
+from .cpp import CppModel
+from .power import PowerModel
+from .sc import SCModel, TSCModel
+from .x86 import X86Model
+
+_FACTORIES = {
+    "sc": lambda: SCModel(),
+    "tsc": lambda: TSCModel(),
+    "x86": lambda: X86Model(transactional=False),
+    "x86tm": lambda: X86Model(transactional=True),
+    "power": lambda: PowerModel(transactional=False),
+    "powertm": lambda: PowerModel(transactional=True),
+    "armv8": lambda: ARMv8Model(transactional=False),
+    "armv8tm": lambda: ARMv8Model(transactional=True),
+    "cpp": lambda: CppModel(transactional=False),
+    "cpptm": lambda: CppModel(transactional=True),
+}
+
+
+def model_names() -> list[str]:
+    """All registered model names."""
+    return sorted(_FACTORIES)
+
+
+def get_model(name: str) -> MemoryModel:
+    """Instantiate a model by name (``"x86tm"``, ``"powertm"``, ...)."""
+    key = name.lower().replace("+", "").replace("-", "").replace("_", "")
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown model {name!r}; known: {', '.join(model_names())}"
+        )
+    return _FACTORIES[key]()

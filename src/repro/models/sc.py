@@ -1,0 +1,56 @@
+"""SC and Transactional SC (Fig. 4, §3.4).
+
+SC is characterised axiomatically by forbidding cycles in program order
+and communication (Shasha & Snir)::
+
+    acyclic(hb)  where  hb = po ∪ com                       (Order)
+
+TSC strengthens SC so that consecutive events of a transaction appear
+consecutively in the overall execution order::
+
+    acyclic(stronglift(hb, stxn))                           (TxnOrder)
+
+TxnOrder subsumes the StrongIsol axiom (§3.4); a regression test checks
+this subsumption on enumerated executions.
+"""
+
+from __future__ import annotations
+
+from ..events import Execution
+from ..relations import Relation, stronglift
+from .base import AxiomThunk, MemoryModel
+
+
+class SCModel(MemoryModel):
+    """Sequential consistency (Fig. 4 without the highlight)."""
+
+    name = "SC"
+    is_transactional = False
+
+    def hb(self, x: Execution) -> Relation:
+        return x.po | x.com
+
+    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
+        return [("Order", lambda: self.hb(x).is_acyclic())]
+
+
+class TSCModel(SCModel):
+    """Transactional sequential consistency (Fig. 4 with the highlight).
+
+    TSC is the upper bound on the guarantees a reasonable TM
+    implementation provides (§3.4); the paper's x86/Power/ARMv8/C++ TM
+    models all lie between the isolation axioms and TSC.
+    """
+
+    name = "TSC"
+    is_transactional = True
+
+    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
+        hb = self.hb(x)
+        return [
+            ("Order", hb.is_acyclic),
+            ("TxnOrder", lambda: stronglift(hb, x.stxn).is_acyclic()),
+        ]
+
+    def baseline(self) -> MemoryModel:
+        return SCModel()

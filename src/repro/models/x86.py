@@ -1,0 +1,93 @@
+"""The x86-TSO memory model with Intel TSX transactions (Fig. 5).
+
+Baseline (Owens et al. / herding-cats TSO, as presented in Fig. 5)::
+
+    acyclic(poloc ∪ com)                                  (Coherence)
+    empty(rmw ∩ (fre ; coe))                              (RMWIsol)
+    acyclic(hb)                                           (Order)
+      where ppo     = ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po
+            L       = domain(rmw) ∪ range(rmw)
+            implied = [L] ; po  ∪  po ; [L]
+            hb      = mfence ∪ ppo ∪ implied ∪ rfe ∪ fr ∪ co
+
+TM additions (highlighted in Fig. 5):
+
+* ``tfence`` joins ``implied`` -- a committed TSX transaction "has the
+  same ordering semantics as a LOCK prefixed instruction";
+* ``StrongIsol`` -- TSX conflicts are defined against *any* other logical
+  processor, transactional or not;
+* ``TxnOrder`` -- transactions appear to execute instantaneously.
+"""
+
+from __future__ import annotations
+
+from ..events import Execution
+from ..relations import Relation
+from .base import AxiomThunk, MemoryModel, Memo
+from .common import (
+    coherence_ok,
+    rmw_isolation_ok,
+    strong_isolation_ok,
+    txn_order_ok,
+)
+
+
+class X86Model(MemoryModel):
+    """x86-TSO, optionally with the paper's TSX axioms."""
+
+    def __init__(self, transactional: bool = True):
+        self.is_transactional = transactional
+        self.name = "x86+TM" if transactional else "x86"
+
+    def baseline(self) -> MemoryModel:
+        return X86Model(transactional=False) if self.is_transactional else self
+
+    # ------------------------------------------------------------------
+    # Derived relations
+    # ------------------------------------------------------------------
+
+    def ppo(self, x: Execution) -> Relation:
+        """Preserved program order: everything but W→R reordering."""
+        w, r = x.writes, x.reads
+        keep = (
+            Relation.cross(w, w, x.eids)
+            | Relation.cross(r, w, x.eids)
+            | Relation.cross(r, r, x.eids)
+        )
+        return keep & x.po
+
+    def implied(self, x: Execution) -> Relation:
+        """Fences implied by LOCK'd instructions -- and, with TM, by
+        transaction boundaries."""
+        locked = x.rmw.domain() | x.rmw.range()
+        locked_id = Relation.from_set(locked, x.eids)
+        out = locked_id.compose(x.po) | x.po.compose(locked_id)
+        if self.is_transactional:
+            out = out | x.tfence
+        return out
+
+    def hb(self, x: Execution) -> Relation:
+        return (
+            x.mfence | self.ppo(x) | self.implied(x) | x.rfe | x.fr | x.co
+        )
+
+    # ------------------------------------------------------------------
+    # Axioms
+    # ------------------------------------------------------------------
+
+    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
+        memo = Memo()
+        hb = lambda: memo.get("hb", lambda: self.hb(x))
+        thunks: list[AxiomThunk] = [
+            ("Coherence", lambda: coherence_ok(x)),
+            ("RMWIsol", lambda: rmw_isolation_ok(x)),
+            ("Order", lambda: hb().is_acyclic()),
+        ]
+        if self.is_transactional:
+            thunks.extend(
+                [
+                    ("StrongIsol", lambda: strong_isolation_ok(x)),
+                    ("TxnOrder", lambda: txn_order_ok(x, hb())),
+                ]
+            )
+        return thunks

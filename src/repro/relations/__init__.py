@@ -1,0 +1,26 @@
+"""Relational algebra over finite event sets (§2.1 of the paper)."""
+
+from .algebra import (
+    acyclic,
+    empty,
+    inter_thread,
+    intra_thread,
+    irreflexive,
+    stronglift,
+    union_all,
+    weaklift,
+)
+from .relation import Pair, Relation
+
+__all__ = [
+    "Pair",
+    "Relation",
+    "acyclic",
+    "empty",
+    "inter_thread",
+    "intra_thread",
+    "irreflexive",
+    "stronglift",
+    "union_all",
+    "weaklift",
+]

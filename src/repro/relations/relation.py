@@ -1,0 +1,386 @@
+"""Finite binary relations over event identifiers.
+
+Every axiomatic memory model in the paper is phrased as constraints over
+binary relations between events (``po``, ``rf``, ``co``, ``hb``, ...).
+This module provides the :class:`Relation` value type those constraints
+are computed with.
+
+A :class:`Relation` is an immutable set of ``(int, int)`` pairs together
+with an explicit *universe* of event identifiers.  The universe is needed
+so that complements (``~r``), identity restrictions, and "all pairs"
+constructions are well defined -- the paper's models use complements such
+as ``¬ stxn`` (Figs. 5, 6, 8), which only make sense relative to the set
+of events of the execution under consideration.
+
+Executions in this reproduction are small (≤ ~14 events), so the
+implementation favours clarity over asymptotic cleverness; the only
+performance-sensitive consumers are the enumeration loops, which mainly
+rely on cheap construction and on :meth:`Relation.is_acyclic`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+Pair = tuple[int, int]
+
+
+class Relation:
+    """An immutable binary relation over a finite universe of ints."""
+
+    __slots__ = ("_pairs", "_universe", "_hash")
+
+    def __init__(self, pairs: Iterable[Pair] = (), universe: Iterable[int] = ()):
+        pair_set = frozenset((int(a), int(b)) for a, b in pairs)
+        uni = frozenset(int(u) for u in universe)
+        for a, b in pair_set:
+            if a not in uni or b not in uni:
+                uni = uni | {a, b}
+        self._pairs = pair_set
+        self._universe = uni
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def pairs(self) -> frozenset[Pair]:
+        """The set of pairs in the relation."""
+        return self._pairs
+
+    @property
+    def universe(self) -> frozenset[int]:
+        """The universe the relation (and its complement) ranges over."""
+        return self._universe
+
+    def domain(self) -> frozenset[int]:
+        """Elements appearing as the source of some pair."""
+        return frozenset(a for a, _ in self._pairs)
+
+    def range(self) -> frozenset[int]:
+        """Elements appearing as the target of some pair."""
+        return frozenset(b for _, b in self._pairs)
+
+    def field(self) -> frozenset[int]:
+        """Elements appearing in some pair, as source or target."""
+        return self.domain() | self.range()
+
+    def successors(self, a: int) -> frozenset[int]:
+        """All ``b`` with ``(a, b)`` in the relation."""
+        return frozenset(y for x, y in self._pairs if x == a)
+
+    def predecessors(self, b: int) -> frozenset[int]:
+        """All ``a`` with ``(a, b)`` in the relation."""
+        return frozenset(x for x, y in self._pairs if y == b)
+
+    def is_empty(self) -> bool:
+        return not self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(sorted(self._pairs))
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._pairs
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / printing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._pairs)
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"({a},{b})" for a, b in sorted(self._pairs))
+        return f"Relation({{{body}}})"
+
+    # ------------------------------------------------------------------
+    # Derived constructors
+    # ------------------------------------------------------------------
+
+    def _with(self, pairs: Iterable[Pair], universe: frozenset[int]) -> "Relation":
+        rel = Relation.__new__(Relation)
+        rel._pairs = frozenset(pairs)
+        rel._universe = universe
+        rel._hash = None
+        return rel
+
+    @staticmethod
+    def empty(universe: Iterable[int] = ()) -> "Relation":
+        """The empty relation over ``universe``."""
+        return Relation((), universe)
+
+    @staticmethod
+    def identity(universe: Iterable[int]) -> "Relation":
+        """The identity relation over ``universe``."""
+        uni = frozenset(universe)
+        return Relation(((u, u) for u in uni), uni)
+
+    @staticmethod
+    def full(universe: Iterable[int]) -> "Relation":
+        """The complete relation ``universe × universe``."""
+        uni = frozenset(universe)
+        return Relation(((a, b) for a in uni for b in uni), uni)
+
+    @staticmethod
+    def from_set(elements: Iterable[int], universe: Iterable[int] = ()) -> "Relation":
+        """Lift a set to a relation: ``[s] = {(x, x) | x ∈ s}`` (§2.1)."""
+        elems = frozenset(elements)
+        return Relation(((e, e) for e in elems), frozenset(universe) | elems)
+
+    @staticmethod
+    def cross(
+        lhs: Iterable[int], rhs: Iterable[int], universe: Iterable[int] = ()
+    ) -> "Relation":
+        """The Cartesian product ``lhs × rhs`` (e.g. ``W × R`` in Fig. 6)."""
+        left = frozenset(lhs)
+        right = frozenset(rhs)
+        uni = frozenset(universe) | left | right
+        return Relation(((a, b) for a in left for b in right), uni)
+
+    # ------------------------------------------------------------------
+    # Boolean algebra
+    # ------------------------------------------------------------------
+
+    def _merged_universe(self, other: "Relation") -> frozenset[int]:
+        if self._universe == other._universe:
+            return self._universe
+        return self._universe | other._universe
+
+    def __or__(self, other: "Relation") -> "Relation":
+        """Union."""
+        return self._with(self._pairs | other._pairs, self._merged_universe(other))
+
+    def __and__(self, other: "Relation") -> "Relation":
+        """Intersection."""
+        return self._with(self._pairs & other._pairs, self._merged_universe(other))
+
+    def __sub__(self, other: "Relation") -> "Relation":
+        """Difference."""
+        return self._with(self._pairs - other._pairs, self._merged_universe(other))
+
+    def __invert__(self) -> "Relation":
+        """Complement with respect to ``universe × universe`` (written ¬r)."""
+        uni = self._universe
+        missing = [(a, b) for a in uni for b in uni if (a, b) not in self._pairs]
+        return self._with(missing, uni)
+
+    # ------------------------------------------------------------------
+    # Relational operators from §2.1
+    # ------------------------------------------------------------------
+
+    def inverse(self) -> "Relation":
+        """``r⁻¹``."""
+        return self._with(((b, a) for a, b in self._pairs), self._universe)
+
+    def compose(self, other: "Relation") -> "Relation":
+        """Relational composition ``r₁ ; r₂`` (§2.1)."""
+        by_source: dict[int, list[int]] = {}
+        for a, b in other._pairs:
+            by_source.setdefault(a, []).append(b)
+        out: set[Pair] = set()
+        for a, mid in self._pairs:
+            for c in by_source.get(mid, ()):
+                out.add((a, c))
+        return self._with(out, self._merged_universe(other))
+
+    def __rshift__(self, other: "Relation") -> "Relation":
+        """``r1 >> r2`` is composition ``r1 ; r2`` -- reads left to right."""
+        return self.compose(other)
+
+    def optional(self) -> "Relation":
+        """Reflexive closure ``r?``: ``r ∪ id`` over the universe."""
+        return self._with(
+            self._pairs | {(u, u) for u in self._universe}, self._universe
+        )
+
+    def transitive_closure(self) -> "Relation":
+        """Transitive closure ``r⁺`` (Floyd–Warshall style on small graphs)."""
+        succ: dict[int, set[int]] = {}
+        for a, b in self._pairs:
+            succ.setdefault(a, set()).add(b)
+        # Iterate to a fixpoint; universes are tiny so this is cheap.
+        closed: dict[int, set[int]] = {a: set(bs) for a, bs in succ.items()}
+        changed = True
+        while changed:
+            changed = False
+            for a, bs in closed.items():
+                new = set()
+                for b in bs:
+                    new |= closed.get(b, frozenset())
+                if not new <= bs:
+                    bs |= new
+                    changed = True
+        out = {(a, b) for a, bs in closed.items() for b in bs}
+        return self._with(out, self._universe)
+
+    def reflexive_transitive_closure(self) -> "Relation":
+        """``r* = r⁺ ∪ id``."""
+        return self.transitive_closure().optional()
+
+    def restrict(self, sources: Iterable[int], targets: Iterable[int]) -> "Relation":
+        """``[sources] ; r ; [targets]``."""
+        src = frozenset(sources)
+        tgt = frozenset(targets)
+        return self._with(
+            ((a, b) for a, b in self._pairs if a in src and b in tgt),
+            self._universe,
+        )
+
+    def filter(self, predicate: Callable[[int, int], bool]) -> "Relation":
+        """Pairs satisfying an arbitrary predicate."""
+        return self._with(
+            ((a, b) for a, b in self._pairs if predicate(a, b)), self._universe
+        )
+
+    def irreflexive_part(self) -> "Relation":
+        """The relation with all ``(x, x)`` pairs removed."""
+        return self._with(((a, b) for a, b in self._pairs if a != b), self._universe)
+
+    # ------------------------------------------------------------------
+    # Predicates used by the models' axioms
+    # ------------------------------------------------------------------
+
+    def is_irreflexive(self) -> bool:
+        """``irreflexive(r)``: no ``(x, x)`` pair."""
+        return all(a != b for a, b in self._pairs)
+
+    def is_acyclic(self) -> bool:
+        """``acyclic(r)``: the transitive closure is irreflexive.
+
+        Implemented as an iterative cycle search (colour-marking DFS)
+        rather than by materialising the closure, because this is the
+        single hottest predicate in enumeration loops.
+        """
+        succ: dict[int, list[int]] = {}
+        for a, b in self._pairs:
+            if a == b:
+                return False
+            succ.setdefault(a, []).append(b)
+        white, grey, black = 0, 1, 2
+        colour: dict[int, int] = {}
+        for start in succ:
+            if colour.get(start, white) != white:
+                continue
+            stack: list[tuple[int, int]] = [(start, 0)]
+            colour[start] = grey
+            while stack:
+                node, index = stack[-1]
+                children = succ.get(node, ())
+                if index < len(children):
+                    stack[-1] = (node, index + 1)
+                    child = children[index]
+                    state = colour.get(child, white)
+                    if state == grey:
+                        return False
+                    if state == white:
+                        colour[child] = grey
+                        stack.append((child, 0))
+                else:
+                    colour[node] = black
+                    stack.pop()
+        return True
+
+    def is_transitive(self) -> bool:
+        return self.transitive_closure() == self.irreflexive_part() | self
+
+    def is_symmetric(self) -> bool:
+        return all((b, a) in self._pairs for a, b in self._pairs)
+
+    def is_partial_equivalence(self) -> bool:
+        """Symmetric and transitive (the well-formedness condition on
+        ``stxn`` from §3.1)."""
+        if not self.is_symmetric():
+            return False
+        composed = self.compose(self)
+        return composed.pairs <= self._pairs
+
+    def is_strict_total_order_on(self, elements: Iterable[int]) -> bool:
+        """Strict total order over ``elements`` (used for per-thread po and
+        per-location co, §2.1)."""
+        elems = sorted(frozenset(elements))
+        for i, a in enumerate(elems):
+            if (a, a) in self._pairs:
+                return False
+            for b in elems[i + 1 :]:
+                forward = (a, b) in self._pairs
+                backward = (b, a) in self._pairs
+                if forward == backward:
+                    return False
+        return self.filter(lambda a, b: a in elems and b in elems).is_acyclic()
+
+    def equivalence_classes(self) -> list[frozenset[int]]:
+        """Connected classes of a partial equivalence relation, sorted by
+        minimum element."""
+        remaining = set(self.field())
+        classes: list[frozenset[int]] = []
+        while remaining:
+            seed = min(remaining)
+            cls = {seed}
+            frontier = [seed]
+            while frontier:
+                node = frontier.pop()
+                for nxt in self.successors(node) | self.predecessors(node):
+                    if nxt not in cls:
+                        cls.add(nxt)
+                        frontier.append(nxt)
+            classes.append(frozenset(cls))
+            remaining -= cls
+        return classes
+
+    def cycle_witness(self) -> list[int] | None:
+        """Return one cycle (as a list of nodes) if the relation has one.
+
+        Used for diagnostics: axiom violations are reported with the cycle
+        that witnesses them.
+        """
+        succ: dict[int, list[int]] = {}
+        for a, b in self._pairs:
+            if a == b:
+                return [a]
+            succ.setdefault(a, []).append(b)
+        colour: dict[int, int] = {}
+        parent: dict[int, int] = {}
+
+        for start in succ:
+            if colour.get(start, 0) != 0:
+                continue
+            stack: list[tuple[int, int]] = [(start, 0)]
+            colour[start] = 1
+            while stack:
+                node, index = stack[-1]
+                children = succ.get(node, ())
+                if index < len(children):
+                    stack[-1] = (node, index + 1)
+                    child = children[index]
+                    state = colour.get(child, 0)
+                    if state == 1:
+                        cycle = [child, node]
+                        cur = node
+                        while cur != child:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.pop()
+                        cycle.reverse()
+                        return cycle
+                    if state == 0:
+                        colour[child] = 1
+                        parent[child] = node
+                        stack.append((child, 0))
+                else:
+                    colour[node] = 2
+                    stack.pop()
+        return None

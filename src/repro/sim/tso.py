@@ -1,0 +1,373 @@
+"""An operational x86-TSO machine with TSX transactions.
+
+This is the reproduction's stand-in for the paper's four TSX machines
+(Haswell, Broadwell, Skylake, Kabylake): where the paper runs each test
+1M times under the Litmus tool, we *exhaustively* explore the
+operational state space and report whether any terminal state satisfies
+the postcondition.
+
+The machine implements the classic x86-TSO structure (Owens et al.):
+
+* per-thread FIFO store buffers, non-deterministically flushed;
+* loads read their own store buffer first (store forwarding), then
+  memory;
+* ``MFENCE`` and LOCK'd RMWs wait for the local buffer to drain, and
+  RMWs act on memory atomically.
+
+TSX transactions follow Intel's manual as formalised in Fig. 5:
+
+* ``XBEGIN`` waits for the local buffer to drain (the entering
+  ``tfence``);
+* transactional stores are buffered privately and invisible to others;
+* conflict detection is eager: any other thread's write to a location
+  in a running transaction's read or write set aborts it (§16.2 defines
+  conflicts against "another logical processor" -- strong isolation);
+* ``XEND`` publishes the write set atomically (LOCK semantics);
+* an aborted transaction rolls back, zeroes the ``ok`` flag, and
+  resumes after its ``XEND`` (the fail-handler convention of §3.2).
+
+Spontaneous aborts (capacity, interrupts...) can be enabled; they only
+add failed-transaction outcomes, so they are off by default to keep the
+state space small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..litmus.program import (
+    AbortUnless,
+    Fence,
+    Load,
+    LoadLinked,
+    Program,
+    Rmw,
+    Store,
+    StoreConditional,
+    TxBegin,
+    TxEnd,
+)
+
+# A thread's transaction context: (read-set, write-buffer) with the
+# write buffer an ordered tuple of (loc, value) pairs.
+_TxnCtx = tuple[frozenset[str], tuple[tuple[str, int], ...]]
+
+
+@dataclass(frozen=True)
+class _ThreadState:
+    pc: int
+    registers: tuple[tuple[str, int], ...]
+    buffer: tuple[tuple[str, int], ...]
+    txn: _TxnCtx | None
+    ok: bool
+
+    def reg(self, name: str) -> int:
+        for key, value in self.registers:
+            if key == name:
+                return value
+        return 0
+
+    def with_reg(self, name: str, value: int) -> "_ThreadState":
+        regs = tuple(
+            sorted(
+                [(k, v) for k, v in self.registers if k != name]
+                + [(name, value)]
+            )
+        )
+        return _ThreadState(self.pc, regs, self.buffer, self.txn, self.ok)
+
+
+@dataclass(frozen=True)
+class _MachineState:
+    threads: tuple[_ThreadState, ...]
+    memory: tuple[tuple[str, int], ...]
+    #: per-location coherence log: the order in which writes hit memory.
+    #: Physical machines cannot expose this; the simulation uses it to
+    #: validate the *intended* execution (removing footnote 2's
+    #: final-value ambiguity for locations with three or more writes).
+    log: tuple[tuple[str, int], ...] = ()
+
+    def mem(self, loc: str) -> int:
+        for key, value in self.memory:
+            if key == loc:
+                return value
+        return 0
+
+    def with_mem(self, loc: str, value: int) -> "_MachineState":
+        mem = tuple(
+            sorted(
+                [(k, v) for k, v in self.memory if k != loc] + [(loc, value)]
+            )
+        )
+        return _MachineState(self.threads, mem, self.log + ((loc, value),))
+
+    def with_thread(self, tid: int, ts: _ThreadState) -> "_MachineState":
+        threads = self.threads[:tid] + (ts,) + self.threads[tid + 1 :]
+        return _MachineState(threads, self.memory, self.log)
+
+
+@dataclass(frozen=True)
+class FinalState:
+    """A terminal machine state, summarised for postcondition checks."""
+
+    registers: dict[tuple[int, str], int]
+    memory: dict[str, int]
+    all_txns_committed: bool
+    write_log: dict[str, tuple[int, ...]]
+
+    def matches_intended_co(self, intended_co: dict[str, tuple[int, ...]]) -> bool:
+        return all(
+            self.write_log.get(loc, ()) == values
+            for loc, values in intended_co.items()
+        )
+
+
+class TSOMachine:
+    """Exhaustive explorer for one litmus program."""
+
+    def __init__(self, program: Program, spontaneous_aborts: bool = False):
+        for _, _, ins in program.instructions():
+            if isinstance(ins, (LoadLinked, StoreConditional)):
+                raise ValueError("x86 has no load-linked/store-conditional")
+        self.program = program
+        self.spontaneous_aborts = spontaneous_aborts
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def final_states(self) -> Iterator[FinalState]:
+        """Every distinct terminal state, by exhaustive DFS."""
+        initial = _MachineState(
+            threads=tuple(
+                _ThreadState(0, (), (), None, True) for _ in self.program.threads
+            ),
+            memory=(),
+        )
+        seen: set[_MachineState] = set()
+        finals: set[_MachineState] = set()
+        stack = [initial]
+        while stack:
+            state = stack.pop()
+            if state in seen:
+                continue
+            seen.add(state)
+            successors = list(self._steps(state))
+            if not successors:
+                if self._terminal(state):
+                    finals.add(state)
+                continue
+            stack.extend(successors)
+        for state in finals:
+            yield self._summarise(state)
+
+    def observable(
+        self, intended_co: dict[str, tuple[int, ...]] | None = None
+    ) -> bool:
+        """Can any terminal state satisfy the postcondition?
+
+        This is the machine's answer to "was the test seen on hardware".
+        With ``intended_co``, the coherence log must additionally match
+        the generating execution's co (exact-execution validation).
+        """
+        post = self.program.postcondition
+        for f in self.final_states():
+            if not post.holds(f.registers, f.memory, f.all_txns_committed):
+                continue
+            if intended_co is not None and not f.matches_intended_co(intended_co):
+                continue
+            return True
+        return False
+
+    def outcomes(self) -> set[tuple]:
+        """All terminal (registers, memory) valuations."""
+        out = set()
+        for f in self.final_states():
+            out.add(
+                (
+                    tuple(sorted(f.registers.items())),
+                    tuple(sorted(f.memory.items())),
+                    f.all_txns_committed,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Transition relation
+    # ------------------------------------------------------------------
+
+    def _terminal(self, state: _MachineState) -> bool:
+        return all(
+            ts.pc >= len(self.program.threads[tid]) and not ts.buffer
+            for tid, ts in enumerate(state.threads)
+        )
+
+    def _steps(self, state: _MachineState) -> Iterator[_MachineState]:
+        for tid, ts in enumerate(state.threads):
+            # Buffer flush is always available when non-empty.
+            if ts.buffer:
+                yield self._flush_one(state, tid)
+            if ts.pc >= len(self.program.threads[tid]):
+                continue
+            ins = self.program.threads[tid][ts.pc]
+            yield from self._execute(state, tid, ts, ins)
+            if self.spontaneous_aborts and ts.txn is not None:
+                yield self._abort(state, tid)
+
+    def _flush_one(self, state: _MachineState, tid: int) -> _MachineState:
+        ts = state.threads[tid]
+        (loc, value), rest = ts.buffer[0], ts.buffer[1:]
+        new = state.with_thread(
+            tid, _ThreadState(ts.pc, ts.registers, rest, ts.txn, ts.ok)
+        )
+        new = new.with_mem(loc, value)
+        return self._signal_conflicts(new, tid, loc)
+
+    def _signal_conflicts(
+        self, state: _MachineState, writer: int, loc: str
+    ) -> _MachineState:
+        """Eagerly abort every *other* running transaction whose read or
+        write set contains ``loc``."""
+        for tid, ts in enumerate(state.threads):
+            if tid == writer or ts.txn is None:
+                continue
+            read_set, write_buffer = ts.txn
+            if loc in read_set or any(l == loc for l, _ in write_buffer):
+                state = self._abort(state, tid)
+        return state
+
+    def _abort(self, state: _MachineState, tid: int) -> _MachineState:
+        """Roll back ``tid``'s transaction: discard its buffered writes,
+        clear ``ok``, and resume after the matching TxEnd."""
+        ts = state.threads[tid]
+        thread = self.program.threads[tid]
+        pc = ts.pc
+        while pc < len(thread) and not isinstance(thread[pc], TxEnd):
+            pc += 1
+        return state.with_thread(
+            tid, _ThreadState(pc + 1, ts.registers, ts.buffer, None, False)
+        )
+
+    def _read_value(self, state: _MachineState, tid: int, loc: str) -> int:
+        ts = state.threads[tid]
+        if ts.txn is not None:
+            for l, v in reversed(ts.txn[1]):
+                if l == loc:
+                    return v
+        for l, v in reversed(ts.buffer):
+            if l == loc:
+                return v
+        return state.mem(loc)
+
+    def _execute(
+        self, state: _MachineState, tid: int, ts: _ThreadState, ins
+    ) -> Iterator[_MachineState]:
+        thread_len = len(self.program.threads[tid])
+        advance = lambda t: _ThreadState(t.pc + 1, t.registers, t.buffer, t.txn, t.ok)
+
+        if isinstance(ins, Load):
+            value = self._read_value(state, tid, ins.loc)
+            new_ts = ts.with_reg(ins.reg, value)
+            if ts.txn is not None:
+                read_set, wbuf = ts.txn
+                new_ts = _ThreadState(
+                    new_ts.pc,
+                    new_ts.registers,
+                    new_ts.buffer,
+                    (read_set | {ins.loc}, wbuf),
+                    new_ts.ok,
+                )
+            yield state.with_thread(tid, advance(new_ts))
+
+        elif isinstance(ins, Store):
+            if ts.txn is not None:
+                read_set, wbuf = ts.txn
+                new_ts = _ThreadState(
+                    ts.pc, ts.registers, ts.buffer,
+                    (read_set, wbuf + ((ins.loc, ins.value),)), ts.ok,
+                )
+            else:
+                new_ts = _ThreadState(
+                    ts.pc, ts.registers, ts.buffer + ((ins.loc, ins.value),),
+                    ts.txn, ts.ok,
+                )
+            yield state.with_thread(tid, advance(new_ts))
+
+        elif isinstance(ins, Rmw):
+            if ts.buffer:
+                return  # LOCK'd ops drain the buffer first
+            if ts.txn is not None:
+                # An RMW inside a TSX transaction: acts on the txn context.
+                value = self._read_value(state, tid, ins.loc)
+                read_set, wbuf = ts.txn
+                new_ts = ts.with_reg(ins.reg, value)
+                new_ts = _ThreadState(
+                    new_ts.pc, new_ts.registers, new_ts.buffer,
+                    (read_set | {ins.loc}, wbuf + ((ins.loc, ins.value),)),
+                    new_ts.ok,
+                )
+                yield state.with_thread(tid, advance(new_ts))
+            else:
+                value = state.mem(ins.loc)
+                new_ts = advance(ts.with_reg(ins.reg, value))
+                new_state = state.with_thread(tid, new_ts).with_mem(
+                    ins.loc, ins.value
+                )
+                yield self._signal_conflicts(new_state, tid, ins.loc)
+
+        elif isinstance(ins, Fence):
+            if ts.buffer:
+                return  # MFENCE waits for the buffer to drain
+            yield state.with_thread(tid, advance(ts))
+
+        elif isinstance(ins, TxBegin):
+            if ts.buffer:
+                return  # entering tfence: buffer must drain first
+            new_ts = _ThreadState(
+                ts.pc + 1, ts.registers, ts.buffer, (frozenset(), ()), ts.ok
+            )
+            yield state.with_thread(tid, new_ts)
+
+        elif isinstance(ins, TxEnd):
+            assert ts.txn is not None, "TxEnd outside transaction"
+            _, wbuf = ts.txn
+            new_state = state.with_thread(
+                tid, _ThreadState(ts.pc + 1, ts.registers, ts.buffer, None, ts.ok)
+            )
+            # Commit publishes the write set atomically.
+            for loc, value in wbuf:
+                new_state = new_state.with_mem(loc, value)
+            for loc in {l for l, _ in wbuf}:
+                new_state = self._signal_conflicts(new_state, tid, loc)
+            yield new_state
+
+        elif isinstance(ins, AbortUnless):
+            if ts.reg(ins.reg) == ins.expected:
+                yield state.with_thread(tid, advance(ts))
+            else:
+                yield self._abort(state, tid)
+
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown instruction {ins!r}")
+
+        del thread_len
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def _summarise(self, state: _MachineState) -> FinalState:
+        registers: dict[tuple[int, str], int] = {}
+        for tid, ts in enumerate(state.threads):
+            for name, value in ts.registers:
+                registers[(tid, name)] = value
+        write_log: dict[str, tuple[int, ...]] = {}
+        for loc, value in state.log:
+            write_log[loc] = write_log.get(loc, ()) + (value,)
+        return FinalState(
+            registers=registers,
+            memory=dict(state.memory),
+            all_txns_committed=all(ts.ok for ts in state.threads),
+            write_log=write_log,
+        )

@@ -1,0 +1,44 @@
+"""Shared fixtures: session-scoped caches of enumerated executions.
+
+Several test modules quantify over "all well-formed executions up to a
+bound"; enumerating once per session keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enumeration import enumerate_executions, get_config
+
+
+def _enumerate(target: str, max_events: int) -> list:
+    config = get_config(target)
+    out = []
+    for n in range(1, max_events + 1):
+        out.extend(enumerate_executions(config, n))
+    return out
+
+
+@pytest.fixture(scope="session")
+def sc_executions_3():
+    return _enumerate("sc", 3)
+
+
+@pytest.fixture(scope="session")
+def x86_executions_3():
+    return _enumerate("x86", 3)
+
+
+@pytest.fixture(scope="session")
+def power_executions_3():
+    return _enumerate("power", 3)
+
+
+@pytest.fixture(scope="session")
+def armv8_executions_3():
+    return _enumerate("armv8", 3)
+
+
+@pytest.fixture(scope="session")
+def cpp_executions_3():
+    return _enumerate("cpp", 3)

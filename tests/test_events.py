@@ -1,0 +1,311 @@
+"""Unit tests for events, the builder, and derived execution relations."""
+
+import pytest
+
+from repro.events import (
+    ACQ,
+    DMB,
+    Event,
+    ExecutionBuilder,
+    LWSYNC,
+    MFENCE,
+    REL,
+    SC,
+    SYNC,
+)
+
+
+class TestEvent:
+    def test_basic_fields(self):
+        e = Event(eid=0, tid=1, kind="R", loc="x", tags=frozenset({ACQ}))
+        assert e.is_read and not e.is_write
+        assert e.is_memory_access
+        assert e.has_tag(ACQ)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Event(eid=0, tid=0, kind="Q")
+
+    def test_tags_coerced_to_frozenset(self):
+        e = Event(eid=0, tid=0, kind="W", loc="x", tags={REL})
+        assert isinstance(e.tags, frozenset)
+
+    def test_fence_flavour(self):
+        e = Event(eid=0, tid=0, kind="F", tags=frozenset({MFENCE}))
+        assert e.fence_flavour == MFENCE
+
+    def test_cpp_mode(self):
+        e = Event(eid=0, tid=0, kind="R", loc="x", tags=frozenset({SC}))
+        assert e.cpp_mode == SC
+
+    def test_functional_updates(self):
+        e = Event(eid=0, tid=0, kind="R", loc="x", tags=frozenset({ACQ}))
+        assert e.without_tag(ACQ).tags == frozenset()
+        assert e.with_tag(SC).tags == {ACQ, SC}
+        assert e.with_eid(7).eid == 7
+        assert e.with_tid(3).tid == 3
+
+    def test_label(self):
+        e = Event(eid=0, tid=0, kind="R", loc="x")
+        assert e.label() == "a: R x"
+
+    def test_call_kinds(self):
+        e = Event(eid=0, tid=0, kind="Lt")
+        assert e.is_call and not e.is_memory_access
+
+
+class TestBuilder:
+    def test_po_from_thread_order(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        a = t0.write("x")
+        c = t0.read("x")
+        x = b.build()
+        assert (a, c) in x.po
+        assert (c, a) not in x.po
+
+    def test_two_threads_no_cross_po(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        a = t0.write("x")
+        c = t1.read("x")
+        b.rf(a, c)
+        x = b.build()
+        assert (a, c) not in x.po
+
+    def test_transaction_context_manager(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        with t0.transaction() as txn:
+            a = t0.write("x")
+            c = t0.write("x")
+        b.co(a, c)
+        x = b.build()
+        assert x.txn_of[a] == txn
+        assert x.txn_of[c] == txn
+        assert (a, c) in x.stxn
+
+    def test_atomic_transaction(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        with t0.transaction(atomic=True):
+            a = t0.write("x")
+        x = b.build()
+        assert (a, a) in x.stxnat
+
+    def test_co_chain(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        a = t0.write("x")
+        c = t0.write("x")
+        e = t0.write("x")
+        b.co(a, c, e)
+        x = b.build()
+        assert (a, e) in x.co  # stored transitively closed
+
+    def test_lock_events(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        lock = t0.lock()
+        t0.write("x")
+        unlock = t0.unlock()
+        x = b.build()
+        assert x.event(lock).kind == "L"
+        assert x.event(unlock).kind == "U"
+
+
+class TestDerivedRelations:
+    def _mp(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        wy = t0.write("y")
+        ry = t1.read("y")
+        rx = t1.read("x")
+        b.rf(wy, ry)
+        return b.build(), (wx, wy, ry, rx)
+
+    def test_sloc(self):
+        x, (wx, wy, ry, rx) = self._mp()
+        assert (wx, rx) in x.sloc
+        assert (wx, ry) not in x.sloc
+
+    def test_fr_for_init_read(self):
+        x, (wx, wy, ry, rx) = self._mp()
+        # rx reads the initial value, so it is fr-before the write to x.
+        assert (rx, wx) in x.fr
+        # ry reads wy, and nothing is co-after wy.
+        assert not x.fr.successors(ry)
+
+    def test_fr_excludes_seen_write(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("x")
+        w2 = t0.write("x")
+        r = t1.read("x")
+        b.co(w1, w2)
+        b.rf(w1, r)
+        x = b.build()
+        assert (r, w2) in x.fr
+        assert (r, w1) not in x.fr
+
+    def test_com_union(self):
+        x, _ = self._mp()
+        assert x.com == (x.rf | x.co | x.fr)
+
+    def test_external_internal_split(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w = t0.write("x")
+        r_same = t0.read("x")
+        r_other = t1.read("x")
+        b.rf(w, r_same)
+        x = b.build()
+        assert (w, r_same) in x.rfi
+        assert (w, r_same) not in x.rfe
+        b2 = ExecutionBuilder()
+        t0, t1 = b2.thread(), b2.thread()
+        w = t0.write("x")
+        r = t1.read("x")
+        b2.rf(w, r)
+        x2 = b2.build()
+        assert (w, r) in x2.rfe
+
+    def test_fence_relations(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        a = t0.write("x")
+        t0.fence(SYNC)
+        c = t0.write("y")
+        x = b.build()
+        assert (a, c) in x.sync
+        assert x.lwsync.is_empty()
+
+    def test_fence_relation_scoped_to_thread(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        a = t0.write("x")
+        t0.fence(DMB)
+        c = t0.write("y")
+        d = t1.read("y")
+        b.rf(c, d)
+        x = b.build()
+        assert (a, c) in x.dmb
+        assert (a, d) not in x.dmb
+
+    def test_tfence_boundaries(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        before = t0.read("y")
+        with t0.transaction():
+            inside1 = t0.write("x")
+            inside2 = t0.read("x")
+        after = t0.write("y")
+        b.rf(inside1, inside2)
+        x = b.build()
+        assert (before, inside1) in x.tfence  # entering edge
+        assert (before, inside2) in x.tfence  # enters to every member
+        assert (inside2, after) in x.tfence  # exiting edge
+        assert (inside1, after) in x.tfence  # exits from every member
+        # tfence only relates pairs with a transactional endpoint:
+        assert (before, after) not in x.tfence
+        assert (inside1, inside2) not in x.tfence  # internal
+
+    def test_tfence_empty_for_whole_thread_txn(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        with t0.transaction():
+            t0.read("m")
+            t0.write("x")
+        x = b.build()
+        assert x.tfence.is_empty()
+
+    def test_acq_rel_sets(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x", tags={ACQ})
+        w = t0.write("x", tags={REL})
+        s = t0.read("y", tags={SC})
+        x = b.build()
+        assert r in x.acq and s in x.acq
+        assert w in x.rel
+        assert s in x.sc_events
+
+    def test_atomics_exclude_untagged(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        plain = t0.read("x")
+        sc = t0.read("x", tags={SC})
+        x = b.build()
+        assert sc in x.atomics
+        assert plain not in x.atomics
+
+
+class TestFunctionalUpdates:
+    def _fig2(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        with t0.transaction():
+            a = t0.write("x")
+            r = t0.read("x")
+        c = t1.write("x")
+        b.co(a, c)
+        b.rf(c, r)
+        return b.build(), (a, r, c)
+
+    def test_without_event(self):
+        x, (a, r, c) = self._fig2()
+        smaller = x.without_event(c)
+        assert c not in smaller.eids
+        assert smaller.rf.is_empty()  # r now reads the initial value
+        # thread 1 emptied and disappeared; tids stay dense
+        assert len(smaller.threads) == 1
+        assert all(smaller.event(e).tid == 0 for e in smaller.eids)
+
+    def test_without_event_renumbers_middle_thread(self):
+        b = ExecutionBuilder()
+        t0, t1, t2 = b.thread(), b.thread(), b.thread()
+        a = t0.write("x")
+        c = t1.read("x")
+        e = t2.write("y")
+        b.rf(a, c)
+        x = b.build()
+        from repro.events import is_well_formed
+
+        smaller = x.without_event(c)
+        assert is_well_formed(smaller)
+        assert len(smaller.threads) == 2
+        assert smaller.event(e).tid == 1
+
+    def test_without_txn_membership(self):
+        x, (a, r, c) = self._fig2()
+        weakened = x.without_txn_membership(a)
+        assert a not in weakened.txn_of
+        assert r in weakened.txn_of
+
+    def test_erase_transactions(self):
+        x, _ = self._fig2()
+        erased = x.erase_transactions()
+        assert not erased.txn_of
+        assert erased.stxn.is_empty()
+
+    def test_with_event_tags(self):
+        x, (a, r, c) = self._fig2()
+        tagged = x.with_event_tags(r, frozenset({ACQ}))
+        assert tagged.event(r).tags == {ACQ}
+
+    def test_replace_preserves_other_fields(self):
+        x, (a, r, c) = self._fig2()
+        same = x.replace()
+        assert same == x
+
+    def test_equality_and_hash(self):
+        x1, _ = self._fig2()
+        x2, _ = self._fig2()
+        assert x1 == x2
+        assert hash(x1) == hash(x2)
+        assert x1 != x1.erase_transactions()
+
+    def test_describe_mentions_transactions(self):
+        x, _ = self._fig2()
+        assert "#T" in x.describe()

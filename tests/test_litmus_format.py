@@ -1,0 +1,126 @@
+"""The .litmus interchange format: write/parse round trips and errors."""
+
+import pytest
+
+from repro.catalog import classics, figures
+from repro.litmus import (
+    AbortUnless,
+    Fence,
+    LitmusFormatError,
+    Load,
+    LoadLinked,
+    MemEquals,
+    Postcondition,
+    Program,
+    RegEquals,
+    Rmw,
+    Store,
+    StoreConditional,
+    TxBegin,
+    TxEnd,
+    TxnsSucceeded,
+    execution_to_litmus,
+    parse_litmus,
+    write_litmus,
+)
+
+ROUND_TRIP_SOURCES = [
+    ("sb", classics.sb),
+    ("sb+mfence", lambda: classics.sb("mfence")),
+    ("mp+lwsync+addr", lambda: classics.mp(fence="lwsync", dep="addr")),
+    ("mp-acqrel", lambda: classics.mp(acq_rel=True)),
+    ("lb+deps", lambda: classics.lb(deps=True)),
+    ("fig2", figures.fig2),
+    ("fig10", figures.fig10_concrete),
+    ("split-rmw", figures.monotonicity_split_rmw),
+    ("iriw-txn", figures.power_txn_ordering),
+]
+
+
+@pytest.mark.parametrize("name,factory", ROUND_TRIP_SOURCES)
+def test_round_trip(name, factory):
+    program = execution_to_litmus(factory(), name).program
+    assert parse_litmus(write_litmus(program)) == program
+
+
+def test_round_trip_exotic_instructions():
+    program = Program(
+        "exotic",
+        (
+            (
+                Rmw("r0", "m", 1, read_tags={"ACQ"}, status_ctrl=True),
+                Fence("ISYNC", ctrl_regs=("r0",)),
+                TxBegin(atomic=True),
+                Load("r1", "x", addr_regs=("r0",)),
+                AbortUnless("r1", 0, induce_ctrl=True),
+                Store("y", 3, data_regs=("r1",), ctrl_regs=("r0",)),
+                TxEnd(),
+                LoadLinked("r2", "z"),
+                StoreConditional("z", 7, link="r2"),
+            ),
+        ),
+        Postcondition(
+            (RegEquals(0, "r1", 0), MemEquals("y", 3), TxnsSucceeded())
+        ),
+    )
+    assert parse_litmus(write_litmus(program)) == program
+
+
+def test_written_form_is_readable():
+    text = write_litmus(execution_to_litmus(figures.fig2(), "fig2").program)
+    assert 'litmus "fig2"' in text
+    assert "txbegin" in text and "txend" in text
+    assert "test:" in text and "ok=1" in text
+
+
+def test_comments_and_blank_lines_ignored():
+    program = parse_litmus(
+        """
+        litmus "commented"   # trailing comments are stripped
+        # a full-line comment
+        thread 0:
+
+          store x 1
+        test: x=1
+        """
+    )
+    assert program.name == "commented"
+    assert len(program.threads[0]) == 1
+
+
+def test_empty_postcondition():
+    program = parse_litmus('litmus "t"\nthread 0:\n  store x 1\ntest: true')
+    assert program.postcondition.atoms == ()
+
+
+class TestParseErrors:
+    def test_bad_header(self):
+        with pytest.raises(LitmusFormatError, match="header"):
+            parse_litmus("litmus unquoted\n")
+
+    def test_threads_out_of_order(self):
+        with pytest.raises(LitmusFormatError, match="order"):
+            parse_litmus('litmus "t"\nthread 1:\n  store x 1\ntest: true')
+
+    def test_instruction_outside_thread(self):
+        with pytest.raises(LitmusFormatError, match="outside"):
+            parse_litmus('litmus "t"\nstore x 1\n')
+
+    def test_unknown_instruction(self):
+        with pytest.raises(LitmusFormatError, match="unknown instruction"):
+            parse_litmus('litmus "t"\nthread 0:\n  launch x\ntest: true')
+
+    def test_bad_atom(self):
+        with pytest.raises(LitmusFormatError, match="atom"):
+            parse_litmus('litmus "t"\nthread 0:\n  store x 1\ntest: x>1')
+
+    def test_storecond_without_link(self):
+        with pytest.raises(LitmusFormatError, match="link"):
+            parse_litmus(
+                'litmus "t"\nthread 0:\n'
+                "  loadlinked r0 x\n  storecond x 1\ntest: true"
+            )
+
+    def test_malformed_load(self):
+        with pytest.raises(LitmusFormatError):
+            parse_litmus('litmus "t"\nthread 0:\n  load r0\ntest: true')

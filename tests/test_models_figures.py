@@ -1,0 +1,122 @@
+"""Model verdicts on every execution discussed in the paper."""
+
+import pytest
+
+from repro.catalog import figures
+from repro.harness.figures import CLAIMS, run_figures
+from repro.models import (
+    get_model,
+    strongly_isolated,
+    weakly_isolated,
+)
+
+
+def test_all_figure_claims_match_paper():
+    result = run_figures()
+    mismatches = [
+        (claim.label, claim.model)
+        for claim, got in result.rows
+        if got != claim.expected_allowed
+    ]
+    assert not mismatches, f"verdicts differing from the paper: {mismatches}"
+
+
+def test_figure_claims_cover_all_models():
+    models = {claim.model for claim in CLAIMS}
+    assert {"sc", "tsc", "x86", "x86tm", "powertm", "armv8tm", "cpptm"} <= models
+
+
+class TestFig3Isolation:
+    """Fig. 3: the four executions separating weak from strong isolation."""
+
+    @pytest.mark.parametrize("key", ["a", "b", "c", "d"])
+    def test_weakly_isolated_but_not_strongly(self, key):
+        x = figures.fig3_all()[key]
+        assert weakly_isolated(x), f"fig3{key} should satisfy WeakIsol"
+        assert not strongly_isolated(x), f"fig3{key} should violate StrongIsol"
+
+    @pytest.mark.parametrize("key", ["a", "b", "c", "d"])
+    def test_sc_allows_when_txn_ignored(self, key):
+        x = figures.fig3_all()[key]
+        assert get_model("sc").consistent(x.erase_transactions())
+
+    @pytest.mark.parametrize("key", ["a", "b", "c", "d"])
+    def test_forbidden_by_all_tm_models(self, key):
+        x = figures.fig3_all()[key]
+        for name in ("tsc", "x86tm", "powertm", "armv8tm"):
+            assert not get_model(name).consistent(x)
+
+
+class TestPowerTMAxioms:
+    """§5.2: each TM amendment is exercised by its epitomising execution."""
+
+    def test_exec1_needs_integrated_barrier(self):
+        x = figures.power_integrated_barrier()
+        violated = get_model("powertm").violated_axioms(x)
+        assert "Observation" in violated  # via tprop1
+
+    def test_exec2_needs_txn_multicopy_atomicity(self):
+        x = figures.power_txn_multicopy_atomic()
+        violated = get_model("powertm").violated_axioms(x)
+        assert "Observation" in violated  # via tprop2
+
+    def test_exec3_needs_transaction_ordering(self):
+        x = figures.power_txn_ordering()
+        violated = get_model("powertm").violated_axioms(x)
+        assert "Order" in violated  # via the thb cycle
+
+    def test_exec3_single_txn_remains_allowed(self):
+        """Observed on POWER8 during the paper's testing -- must stay
+        allowed (the careful non-overgeneralisation of §5.2)."""
+        assert get_model("powertm").consistent(
+            figures.power_txn_ordering_single()
+        )
+
+    def test_remark51_read_only_transactions_allowed(self):
+        """The Power manual is ambiguous; the model errs on the side of
+        caution and permits both Remark 5.1 executions."""
+        model = get_model("powertm")
+        assert model.consistent(figures.remark51_first())
+        assert model.consistent(figures.remark51_second())
+
+
+class TestMonotonicityCounterexample:
+    def test_split_rmw_violates_txn_cancels_rmw(self):
+        x = figures.monotonicity_split_rmw()
+        for name in ("powertm", "armv8tm"):
+            assert get_model(name).violated_axioms(x) == ["TxnCancelsRMW"]
+
+    def test_coalesced_rmw_consistent(self):
+        x = figures.monotonicity_joined_rmw()
+        for name in ("powertm", "armv8tm"):
+            assert get_model(name).consistent(x)
+
+    def test_x86_has_no_txn_cancels_rmw(self):
+        x = figures.monotonicity_split_rmw()
+        assert get_model("x86tm").consistent(x)
+
+
+class TestLockElisionExecutions:
+    def test_fig10_consistent_under_armv8_tm(self):
+        """The unsoundness witness: mutual exclusion violated, yet the
+        execution is architecturally consistent."""
+        assert get_model("armv8tm").consistent(figures.fig10_concrete())
+
+    def test_fig10_forbidden_after_dmb_fix(self):
+        x = figures.fig10_concrete_fixed()
+        violated = get_model("armv8tm").violated_axioms(x)
+        assert "TxnOrder" in violated
+
+    def test_appendix_b_consistent_under_armv8_tm(self):
+        assert get_model("armv8tm").consistent(figures.appendix_b_concrete())
+
+
+class TestDongolComparison:
+    """§9: our Power model is strong enough for the C++ mapping on the
+    transactional-MP shape; Dongol et al.'s is not."""
+
+    def test_forbidden_by_cpp(self):
+        assert not get_model("cpptm").consistent(figures.dongol_comparison())
+
+    def test_forbidden_by_our_power(self):
+        assert not get_model("powertm").consistent(figures.dongol_comparison())

@@ -1,0 +1,245 @@
+"""Unit tests for the relational algebra (§2.1)."""
+
+import pytest
+
+from repro.relations import (
+    Relation,
+    inter_thread,
+    intra_thread,
+    stronglift,
+    weaklift,
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        r = Relation.empty({1, 2})
+        assert r.is_empty()
+        assert r.universe == {1, 2}
+
+    def test_pairs_widen_universe(self):
+        r = Relation([(1, 2)], universe={1})
+        assert r.universe == {1, 2}
+
+    def test_identity(self):
+        r = Relation.identity({1, 2, 3})
+        assert r.pairs == {(1, 1), (2, 2), (3, 3)}
+
+    def test_full(self):
+        r = Relation.full({1, 2})
+        assert len(r) == 4
+
+    def test_from_set(self):
+        r = Relation.from_set({1, 3}, universe={1, 2, 3})
+        assert r.pairs == {(1, 1), (3, 3)}
+        assert r.universe == {1, 2, 3}
+
+    def test_cross(self):
+        r = Relation.cross({1}, {2, 3})
+        assert r.pairs == {(1, 2), (1, 3)}
+
+
+class TestAccessors:
+    def test_domain_range_field(self):
+        r = Relation([(1, 2), (2, 3)])
+        assert r.domain() == {1, 2}
+        assert r.range() == {2, 3}
+        assert r.field() == {1, 2, 3}
+
+    def test_successors_predecessors(self):
+        r = Relation([(1, 2), (1, 3), (2, 3)])
+        assert r.successors(1) == {2, 3}
+        assert r.predecessors(3) == {1, 2}
+
+    def test_contains_iter_len(self):
+        r = Relation([(2, 1), (1, 2)])
+        assert (1, 2) in r
+        assert (1, 1) not in r
+        assert list(r) == [(1, 2), (2, 1)]
+        assert len(r) == 2
+
+    def test_bool(self):
+        assert not Relation.empty({1})
+        assert Relation([(1, 1)])
+
+
+class TestBooleanAlgebra:
+    def test_union_intersection_difference(self):
+        a = Relation([(1, 2), (2, 3)])
+        b = Relation([(2, 3), (3, 1)])
+        assert (a | b).pairs == {(1, 2), (2, 3), (3, 1)}
+        assert (a & b).pairs == {(2, 3)}
+        assert (a - b).pairs == {(1, 2)}
+
+    def test_complement(self):
+        r = Relation([(1, 2)], universe={1, 2})
+        assert (~r).pairs == {(1, 1), (2, 1), (2, 2)}
+
+    def test_complement_involutive(self):
+        r = Relation([(1, 2), (2, 2)], universe={1, 2, 3})
+        assert ~~r == r
+
+
+class TestComposition:
+    def test_compose(self):
+        a = Relation([(1, 2), (2, 3)])
+        b = Relation([(2, 10), (3, 11)])
+        assert a.compose(b).pairs == {(1, 10), (2, 11)}
+
+    def test_compose_empty(self):
+        a = Relation([(1, 2)])
+        assert a.compose(Relation.empty()).is_empty()
+
+    def test_rshift_alias(self):
+        a = Relation([(1, 2)])
+        b = Relation([(2, 3)])
+        assert (a >> b).pairs == {(1, 3)}
+
+    def test_inverse(self):
+        r = Relation([(1, 2), (3, 4)])
+        assert r.inverse().pairs == {(2, 1), (4, 3)}
+
+
+class TestClosures:
+    def test_optional_adds_identity(self):
+        r = Relation([(1, 2)], universe={1, 2, 3})
+        assert r.optional().pairs == {(1, 2), (1, 1), (2, 2), (3, 3)}
+
+    def test_transitive_closure(self):
+        r = Relation([(1, 2), (2, 3), (3, 4)])
+        closed = r.transitive_closure()
+        assert (1, 4) in closed
+        assert (1, 3) in closed
+        assert (4, 1) not in closed
+
+    def test_transitive_closure_cycle(self):
+        r = Relation([(1, 2), (2, 1)])
+        closed = r.transitive_closure()
+        assert (1, 1) in closed
+        assert (2, 2) in closed
+
+    def test_reflexive_transitive_closure(self):
+        r = Relation([(1, 2)], universe={1, 2, 3})
+        assert (3, 3) in r.reflexive_transitive_closure()
+        assert (1, 2) in r.reflexive_transitive_closure()
+
+
+class TestPredicates:
+    def test_acyclic_empty(self):
+        assert Relation.empty({1}).is_acyclic()
+
+    def test_acyclic_dag(self):
+        assert Relation([(1, 2), (2, 3), (1, 3)]).is_acyclic()
+
+    def test_cyclic_self_loop(self):
+        assert not Relation([(1, 1)]).is_acyclic()
+
+    def test_cyclic_long(self):
+        assert not Relation([(1, 2), (2, 3), (3, 1)]).is_acyclic()
+
+    def test_irreflexive(self):
+        assert Relation([(1, 2), (2, 1)]).is_irreflexive()
+        assert not Relation([(1, 1)]).is_irreflexive()
+
+    def test_symmetric(self):
+        assert Relation([(1, 2), (2, 1)]).is_symmetric()
+        assert not Relation([(1, 2)]).is_symmetric()
+
+    def test_partial_equivalence(self):
+        per = Relation([(1, 1), (1, 2), (2, 1), (2, 2)])
+        assert per.is_partial_equivalence()
+        # symmetric but not transitive:
+        bad = Relation([(1, 2), (2, 1), (2, 3), (3, 2)])
+        assert not bad.is_partial_equivalence()
+
+    def test_strict_total_order(self):
+        r = Relation([(1, 2), (2, 3), (1, 3)])
+        assert r.is_strict_total_order_on({1, 2, 3})
+        assert not Relation([(1, 2)]).is_strict_total_order_on({1, 2, 3})
+        assert not Relation([(1, 2), (2, 1)]).is_strict_total_order_on({1, 2})
+
+    def test_equivalence_classes(self):
+        per = Relation([(1, 2), (2, 1), (1, 1), (2, 2), (5, 5)])
+        classes = per.equivalence_classes()
+        assert classes == [frozenset({1, 2}), frozenset({5})]
+
+    def test_cycle_witness_none(self):
+        assert Relation([(1, 2)]).cycle_witness() is None
+
+    def test_cycle_witness_found(self):
+        witness = Relation([(1, 2), (2, 3), (3, 1)]).cycle_witness()
+        assert witness is not None
+        assert set(witness) == {1, 2, 3}
+
+    def test_cycle_witness_self_loop(self):
+        assert Relation([(7, 7)]).cycle_witness() == [7]
+
+
+class TestRestriction:
+    def test_restrict(self):
+        r = Relation([(1, 2), (2, 3), (1, 3)])
+        assert r.restrict({1}, {2, 3}).pairs == {(1, 2), (1, 3)}
+
+    def test_filter(self):
+        r = Relation([(1, 2), (2, 1)])
+        assert r.filter(lambda a, b: a < b).pairs == {(1, 2)}
+
+    def test_irreflexive_part(self):
+        r = Relation([(1, 1), (1, 2)])
+        assert r.irreflexive_part().pairs == {(1, 2)}
+
+
+class TestLifting:
+    """§3.3: weaklift and stronglift."""
+
+    def test_weaklift_needs_both_ends_transactional(self):
+        txn = Relation([(1, 1)])  # singleton transaction {1}
+        com = Relation([(1, 2), (2, 1)])
+        assert weaklift(com, txn).is_empty() is False or True
+        # (1,2): target 2 not transactional -> dropped by weaklift
+        assert (1, 2) not in weaklift(com, txn)
+        assert (2, 1) not in weaklift(com, txn)
+
+    def test_weaklift_two_transactions(self):
+        txn = Relation([(1, 1), (2, 2)])  # two singleton transactions
+        com = Relation([(1, 2)])
+        assert (1, 2) in weaklift(com, txn)
+
+    def test_weaklift_expands_classes(self):
+        # transaction {1,2}, transaction {3}; com edge 2 -> 3
+        txn = Relation([(1, 1), (1, 2), (2, 1), (2, 2), (3, 3)])
+        com = Relation([(2, 3)])
+        lifted = weaklift(com, txn)
+        assert (1, 3) in lifted and (2, 3) in lifted
+
+    def test_stronglift_keeps_external_endpoints(self):
+        txn = Relation([(1, 1)], universe={1, 2})
+        com = Relation([(2, 1), (1, 2)], universe={1, 2})
+        lifted = stronglift(com, txn)
+        assert (2, 1) in lifted and (1, 2) in lifted
+
+    def test_stronglift_excludes_intra_transaction_edges(self):
+        txn = Relation([(1, 1), (1, 2), (2, 1), (2, 2)])
+        internal = Relation([(1, 2)])
+        assert stronglift(internal, txn).is_empty()
+
+
+class TestThreadRestriction:
+    def test_intra_inter(self):
+        po = Relation([(0, 1)], universe={0, 1, 2})
+        rel = Relation([(0, 1), (0, 2), (1, 0)], universe={0, 1, 2})
+        assert intra_thread(rel, po).pairs == {(0, 1), (1, 0)}
+        assert inter_thread(rel, po).pairs == {(0, 2)}
+
+
+class TestEqualityHash:
+    def test_equality_ignores_universe(self):
+        assert Relation([(1, 2)], universe={1, 2}) == Relation(
+            [(1, 2)], universe={1, 2, 3}
+        )
+
+    def test_hashable(self):
+        assert len({Relation([(1, 2)]), Relation([(1, 2)])}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Relation([(1, 2)]) != {(1, 2)}

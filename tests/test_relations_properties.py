@@ -1,0 +1,102 @@
+"""Property-based tests for the relational algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relations import Relation, stronglift, weaklift
+
+UNIVERSE = list(range(5))
+
+
+def relations(max_size: int = 10):
+    pair = st.tuples(st.sampled_from(UNIVERSE), st.sampled_from(UNIVERSE))
+    return st.builds(
+        lambda pairs: Relation(pairs, UNIVERSE),
+        st.lists(pair, max_size=max_size),
+    )
+
+
+@given(relations(), relations(), relations())
+def test_composition_associative(a, b, c):
+    assert a.compose(b).compose(c) == a.compose(b.compose(c))
+
+
+@given(relations(), relations(), relations())
+def test_composition_distributes_over_union(a, b, c):
+    assert a.compose(b | c) == a.compose(b) | a.compose(c)
+
+
+@given(relations())
+def test_transitive_closure_idempotent(r):
+    once = r.transitive_closure()
+    assert once.transitive_closure() == once
+
+
+@given(relations())
+def test_transitive_closure_contains_relation(r):
+    assert r.pairs <= r.transitive_closure().pairs
+
+
+@given(relations())
+def test_reflexive_transitive_closure_reflexive(r):
+    star = r.reflexive_transitive_closure()
+    for u in UNIVERSE:
+        assert (u, u) in star
+
+
+@given(relations())
+def test_inverse_involutive(r):
+    assert r.inverse().inverse() == r
+
+
+@given(relations(), relations())
+def test_inverse_antidistributes_over_composition(a, b):
+    assert a.compose(b).inverse() == b.inverse().compose(a.inverse())
+
+
+@given(relations())
+def test_complement_partitions_full(r):
+    full = Relation.full(UNIVERSE)
+    assert (r | ~r) == full
+    assert (r & ~r).is_empty()
+
+
+@given(relations())
+def test_acyclic_iff_closure_irreflexive(r):
+    assert r.is_acyclic() == r.transitive_closure().is_irreflexive()
+
+
+@given(relations())
+def test_cycle_witness_agrees_with_acyclicity(r):
+    witness = r.cycle_witness()
+    if r.is_acyclic():
+        assert witness is None
+    else:
+        assert witness is not None
+        closed = r.transitive_closure()
+        # Consecutive witness nodes are r-related, and it closes a loop.
+        loop = witness + [witness[0]]
+        for a, b in zip(loop, loop[1:]):
+            assert (a, b) in r.pairs or (a, b) in closed.pairs
+
+
+@given(relations(), relations())
+def test_weaklift_subset_of_stronglift(r, t):
+    # t is made a PER first so both lifts are meaningful.
+    per = (t | t.inverse()).transitive_closure()
+    per = per | Relation([(a, a) for a, _ in per.pairs], UNIVERSE)
+    assert weaklift(r, per).pairs <= stronglift(r, per).pairs
+
+
+@given(relations(), relations())
+def test_stronglift_contains_unlifted_edges(r, t):
+    assert (r - t).pairs <= stronglift(r, t).pairs
+
+
+@given(relations())
+def test_restrict_is_intersection_with_cross(r):
+    sources = {0, 1}
+    targets = {2, 3}
+    direct = r.restrict(sources, targets)
+    via_cross = r & Relation.cross(sources, targets, UNIVERSE)
+    assert direct == via_cross

@@ -1,0 +1,211 @@
+"""Well-formedness checks (§2.1, §3.1): each rule fires when broken."""
+
+import pytest
+
+from repro.events import (
+    Event,
+    Execution,
+    assert_well_formed,
+    is_well_formed,
+    well_formedness_violations,
+)
+
+
+def simple_events():
+    return [
+        Event(eid=0, tid=0, kind="R", loc="x"),
+        Event(eid=1, tid=0, kind="W", loc="x"),
+        Event(eid=2, tid=1, kind="W", loc="x"),
+    ]
+
+
+def test_clean_execution_is_well_formed():
+    x = Execution(
+        simple_events(), threads=[(0, 1), (2,)], rf=[(2, 0)], co=[(1, 2)]
+    )
+    assert is_well_formed(x)
+
+
+def test_event_in_no_thread():
+    x = Execution(simple_events(), threads=[(0, 1)])
+    assert any("belong to no thread" in p for p in well_formedness_violations(x))
+
+
+def test_event_in_wrong_thread():
+    events = simple_events()
+    x = Execution(events, threads=[(0, 1, 2)])
+    assert any("has tid" in p for p in well_formedness_violations(x))
+
+
+def test_event_in_two_threads():
+    events = [
+        Event(eid=0, tid=0, kind="R", loc="x"),
+        Event(eid=1, tid=1, kind="W", loc="x"),
+    ]
+    x = Execution(events, threads=[(0,), (1, 0)])
+    violations = well_formedness_violations(x)
+    assert any("several threads" in p for p in violations)
+
+
+def test_memory_event_needs_location():
+    x = Execution([Event(eid=0, tid=0, kind="R", loc=None)], threads=[(0,)])
+    assert any("no location" in p for p in well_formedness_violations(x))
+
+
+def test_fence_must_not_have_location():
+    x = Execution(
+        [Event(eid=0, tid=0, kind="F", loc="x", tags={"MFENCE"})],
+        threads=[(0,)],
+    )
+    assert any("has a location" in p for p in well_formedness_violations(x))
+
+
+def test_dependency_outside_po():
+    events = simple_events()
+    x = Execution(events, threads=[(0, 1), (2,)], data=[(0, 2)])
+    assert any("not within po" in p for p in well_formedness_violations(x))
+
+
+def test_dependency_from_write_rejected():
+    events = simple_events()
+    x = Execution(events, threads=[(0, 1), (2,)], data=[(1, 0)])
+    violations = well_formedness_violations(x)
+    assert violations  # not within po AND wrong source
+
+
+def test_ctrl_from_store_exclusive_allowed():
+    """Table 3, footnote 3: ctrl may begin at a store-exclusive."""
+    events = [
+        Event(eid=0, tid=0, kind="R", loc="m"),
+        Event(eid=1, tid=0, kind="W", loc="m"),
+        Event(eid=2, tid=0, kind="W", loc="x"),
+    ]
+    x = Execution(
+        events, threads=[(0, 1, 2)], rmw=[(0, 1)], ctrl=[(1, 2)]
+    )
+    assert is_well_formed(x)
+
+
+def test_ctrl_from_plain_write_rejected():
+    events = [
+        Event(eid=0, tid=0, kind="W", loc="m"),
+        Event(eid=1, tid=0, kind="W", loc="x"),
+    ]
+    x = Execution(events, threads=[(0, 1)], ctrl=[(0, 1)])
+    assert any("start at a read" in p for p in well_formedness_violations(x))
+
+
+def test_data_must_target_write():
+    events = [
+        Event(eid=0, tid=0, kind="R", loc="x"),
+        Event(eid=1, tid=0, kind="R", loc="y"),
+    ]
+    x = Execution(events, threads=[(0, 1)], data=[(0, 1)])
+    assert any("target a write" in p for p in well_formedness_violations(x))
+
+
+def test_rmw_same_location_and_adjacent():
+    events = [
+        Event(eid=0, tid=0, kind="R", loc="x"),
+        Event(eid=1, tid=0, kind="W", loc="y"),
+    ]
+    x = Execution(events, threads=[(0, 1)], rmw=[(0, 1)])
+    assert any("crosses locations" in p for p in well_formedness_violations(x))
+
+
+def test_rmw_not_adjacent():
+    events = [
+        Event(eid=0, tid=0, kind="R", loc="x"),
+        Event(eid=1, tid=0, kind="R", loc="y"),
+        Event(eid=2, tid=0, kind="W", loc="x"),
+    ]
+    x = Execution(events, threads=[(0, 1, 2)], rmw=[(0, 2)])
+    assert any("not po-adjacent" in p for p in well_formedness_violations(x))
+
+
+def test_rf_same_location():
+    events = [
+        Event(eid=0, tid=0, kind="W", loc="x"),
+        Event(eid=1, tid=1, kind="R", loc="y"),
+    ]
+    x = Execution(events, threads=[(0,), (1,)], rf=[(0, 1)])
+    assert any("crosses locations" in p for p in well_formedness_violations(x))
+
+
+def test_rf_write_to_read_only():
+    events = [
+        Event(eid=0, tid=0, kind="R", loc="x"),
+        Event(eid=1, tid=1, kind="R", loc="x"),
+    ]
+    x = Execution(events, threads=[(0,), (1,)], rf=[(0, 1)])
+    assert any("not write-to-read" in p for p in well_formedness_violations(x))
+
+
+def test_read_with_two_rf_sources():
+    events = [
+        Event(eid=0, tid=0, kind="W", loc="x"),
+        Event(eid=1, tid=0, kind="W", loc="x"),
+        Event(eid=2, tid=1, kind="R", loc="x"),
+    ]
+    x = Execution(
+        events, threads=[(0, 1), (2,)], rf=[(0, 2), (1, 2)], co=[(0, 1)]
+    )
+    assert any("incoming rf" in p for p in well_formedness_violations(x))
+
+
+def test_co_total_order_required():
+    events = [
+        Event(eid=0, tid=0, kind="W", loc="x"),
+        Event(eid=1, tid=1, kind="W", loc="x"),
+    ]
+    x = Execution(events, threads=[(0,), (1,)])  # no co between them
+    assert any("strict total order" in p for p in well_formedness_violations(x))
+
+
+def test_co_crossing_locations():
+    events = [
+        Event(eid=0, tid=0, kind="W", loc="x"),
+        Event(eid=1, tid=0, kind="W", loc="y"),
+    ]
+    x = Execution(events, threads=[(0, 1)], co=[(0, 1)])
+    assert any("crosses locations" in p for p in well_formedness_violations(x))
+
+
+def test_transaction_must_be_contiguous():
+    events = [
+        Event(eid=0, tid=0, kind="W", loc="x"),
+        Event(eid=1, tid=0, kind="R", loc="y"),
+        Event(eid=2, tid=0, kind="W", loc="z"),
+    ]
+    x = Execution(
+        events, threads=[(0, 1, 2)], txn_of={0: 0, 2: 0}
+    )
+    assert any("not po-contiguous" in p for p in well_formedness_violations(x))
+
+
+def test_transaction_must_not_span_threads():
+    events = [
+        Event(eid=0, tid=0, kind="W", loc="x"),
+        Event(eid=1, tid=1, kind="W", loc="y"),
+    ]
+    x = Execution(events, threads=[(0,), (1,)], txn_of={0: 0, 1: 0})
+    assert any("spans threads" in p for p in well_formedness_violations(x))
+
+
+def test_atomic_txn_without_events():
+    events = [Event(eid=0, tid=0, kind="W", loc="x")]
+    x = Execution(events, threads=[(0,)], txn_of={0: 0}, atomic_txns={5})
+    assert any("no events" in p for p in well_formedness_violations(x))
+
+
+def test_assert_well_formed_raises():
+    x = Execution([Event(eid=0, tid=0, kind="R", loc=None)], threads=[(0,)])
+    with pytest.raises(ValueError, match="ill-formed"):
+        assert_well_formed(x)
+
+
+def test_assert_well_formed_returns_execution():
+    x = Execution(
+        simple_events(), threads=[(0, 1), (2,)], rf=[(2, 0)], co=[(1, 2)]
+    )
+    assert assert_well_formed(x) is x
