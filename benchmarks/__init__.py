@@ -1,0 +1,2 @@
+"""Benchmark suite (package-scoped so module basenames may overlap with
+tests/)."""

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Smoke benchmark for the relation engine, recorded to BENCH_relations.json.
+
+Times the Table 1 x86 pipeline (synthesis + hardware validation) -- the
+workload that exercises the relation-algebra kernel hardest -- and
+appends a timestamped entry to ``BENCH_relations.json`` at the repo
+root, so the performance trajectory stays visible across PRs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_relations.py [label]
+
+Environment:
+    REPRO_BENCH_EVENTS   event bound for the synthesis run (default 3)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.enumeration import synthesise  # noqa: E402
+from repro.harness import CheckPipeline, run_table1  # noqa: E402
+
+RESULTS_FILE = REPO_ROOT / "BENCH_relations.json"
+
+
+def bench(bound: int) -> dict:
+    t0 = time.monotonic()
+    synthesis = synthesise("x86", bound)
+    synth_seconds = time.monotonic() - t0
+
+    pipeline = CheckPipeline()
+    t0 = time.monotonic()
+    table = run_table1("x86", bound, synthesis=synthesis, pipeline=pipeline)
+    validate_seconds = time.monotonic() - t0
+
+    forbid_total = sum(r.forbid_total for r in table.rows)
+    allow_total = sum(r.allow_total for r in table.rows)
+    return {
+        "bench": "table1_x86",
+        "event_bound": bound,
+        "synthesis_seconds": round(synth_seconds, 3),
+        "validation_seconds": round(validate_seconds, 3),
+        "total_seconds": round(synth_seconds + validate_seconds, 3),
+        "candidates_examined": synthesis.candidates_examined,
+        "forbid_tests": forbid_total,
+        "allow_tests": allow_total,
+    }
+
+
+def main() -> None:
+    bound = int(os.environ.get("REPRO_BENCH_EVENTS", "3"))
+    label = sys.argv[1] if len(sys.argv) > 1 else "local"
+    entry = {
+        "recorded": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "label": label,
+        "python": platform.python_version(),
+        **bench(bound),
+    }
+    history = []
+    if RESULTS_FILE.exists():
+        history = json.loads(RESULTS_FILE.read_text())
+    history.append(entry)
+    RESULTS_FILE.write_text(json.dumps(history, indent=2) + "\n")
+    print(json.dumps(entry, indent=2))
+    print(f"recorded to {RESULTS_FILE}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,11 @@ Relations: ``id po poimm poloc sloc rf rfe rfi co coe coi fr fre fri
            mfence sync lwsync isync dmb dmbld dmbst isb``
 Functions: ``weaklift(r, t)  stronglift(r, t)  cross(S1, S2)
            domain(r)  range(r)``
+
+Environments are interned per execution through
+:class:`~repro.relations.RelationContext`: the dict is built once and
+every evaluator copies it, so checking ten axioms of one model (or ten
+models of one execution) derives ``fr``, ``com`` etc. a single time.
 """
 
 from __future__ import annotations
@@ -15,14 +20,14 @@ from __future__ import annotations
 from typing import Callable, Union
 
 from ..events import NA, Execution
-from ..relations import Relation, stronglift, weaklift
+from ..relations import Relation, RelationContext, stronglift, weaklift
 
 Value = Union[Relation, frozenset]
 Builtin = Callable[..., Value]
 
 
-def base_environment(x: Execution) -> dict[str, Value]:
-    """Builtin identifiers for one execution."""
+def build_environment(x: Execution, ctx: RelationContext) -> dict[str, Value]:
+    """Compute the builtin identifier environment (uncached)."""
     env: dict[str, Value] = {
         # Sets
         "EV": x.eids,
@@ -40,7 +45,7 @@ def base_environment(x: Execution) -> dict[str, Value]:
         "WEX": x.rmw.range(),
         "LKD": x.rmw.domain() | x.rmw.range(),
         # Relations
-        "id": Relation.identity(x.eids),
+        "id": ctx.identity,
         "po": x.po,
         "poimm": x.po_imm,
         "poloc": x.poloc,
@@ -76,8 +81,8 @@ def base_environment(x: Execution) -> dict[str, Value]:
     return env
 
 
-def builtin_functions(x: Execution) -> dict[str, Builtin]:
-    """Builtin function identifiers."""
+def build_functions(x: Execution) -> dict[str, Builtin]:
+    """Compute the builtin function table (uncached)."""
 
     def _cross(lhs: frozenset, rhs: frozenset) -> Relation:
         return Relation.cross(lhs, rhs, x.eids)
@@ -95,3 +100,14 @@ def builtin_functions(x: Execution) -> dict[str, Builtin]:
         "domain": _domain,
         "range": _range,
     }
+
+
+def base_environment(x: Execution) -> dict[str, Value]:
+    """Builtin identifiers for one execution (a fresh, mutable copy of
+    the execution's interned environment)."""
+    return dict(RelationContext.of(x).cat_environment())
+
+
+def builtin_functions(x: Execution) -> dict[str, Builtin]:
+    """Builtin function identifiers (interned per execution)."""
+    return RelationContext.of(x).cat_functions()

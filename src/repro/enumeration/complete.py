@@ -11,6 +11,7 @@ import itertools
 from typing import Iterator
 
 from ..events import Execution, READ, WRITE
+from ..events.execution import SkeletonCompleter
 from .shapes import Skeleton
 
 
@@ -33,8 +34,22 @@ def complete_skeleton(skeleton: Skeleton) -> Iterator[Execution]:
         list(itertools.permutations(writes_by_loc[loc])) for loc in locs
     ]
 
+    # The completer owns the shared static parts (sorted events, dep
+    # relations, lookup tables) and the template-adoption protocol, so
+    # skeleton-static derived relations (po, sloc, stxn, fences, ...)
+    # are computed once and inherited by every completion.
+    completer = SkeletonCompleter(
+        events=skeleton.events,
+        threads=skeleton.threads,
+        addr=skeleton.addr,
+        ctrl=skeleton.ctrl,
+        data=skeleton.data,
+        rmw=skeleton.rmw,
+        txn_of=skeleton.txn_of,
+        atomic_txns=skeleton.atomic_txns,
+    )
     for rf_choice in itertools.product(*read_options):
-        rf_pairs = tuple(
+        completer.start_rf(
             (src, r) for src, r in zip(rf_choice, reads) if src is not None
         )
         for co_perms in itertools.product(*co_options):
@@ -43,18 +58,7 @@ def complete_skeleton(skeleton: Skeleton) -> Iterator[Execution]:
                 for perm in co_perms
                 for a, b in zip(perm, perm[1:])
             )
-            yield Execution(
-                events=skeleton.events,
-                threads=skeleton.threads,
-                rf=rf_pairs,
-                co=co_pairs,
-                addr=skeleton.addr,
-                ctrl=skeleton.ctrl,
-                data=skeleton.data,
-                rmw=skeleton.rmw,
-                txn_of=skeleton.txn_of,
-                atomic_txns=skeleton.atomic_txns,
-            )
+            yield completer.complete(co_pairs)
 
 
 def enumerate_executions(config, n_events: int) -> Iterator[Execution]:

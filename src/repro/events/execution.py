@@ -12,10 +12,13 @@ steps of §4.2 and the transformations of §8) return new objects.
 
 from __future__ import annotations
 
+import itertools
 from functools import cached_property
 from typing import Iterable, Mapping, Sequence
 
-from ..relations import Relation, inter_thread, intra_thread
+from ..relations import Relation, RelationContext
+from ..relations.context import global_intern
+from ..relations.relation import _universe
 from .event import (
     ACQ,
     ACQ_REL,
@@ -37,6 +40,11 @@ from .event import (
     WRITE,
     Event,
 )
+
+
+#: Distinguishes executions whose universes escaped interning; ids from
+#: this counter are negated so they can never collide with a real id().
+_INTERN_UID_FALLBACK = itertools.count(1)
 
 
 class Execution:
@@ -78,14 +86,64 @@ class Execution:
         self._eids = frozenset(e.eid for e in self.events)
         self._by_eid = {e.eid: e for e in self.events}
         uni = self._eids
-        self._rf = Relation(rf, uni)
-        self._co_input = Relation(co, uni)
-        self._addr = Relation(addr, uni)
-        self._ctrl = Relation(ctrl, uni)
-        self._data = Relation(data, uni)
-        self._rmw = Relation(rmw, uni)
+        self._rf = self._as_relation(rf, uni)
+        self._co_input = self._as_relation(co, uni)
+        self._addr = self._as_relation(addr, uni)
+        self._ctrl = self._as_relation(ctrl, uni)
+        self._data = self._as_relation(data, uni)
+        self._rmw = self._as_relation(rmw, uni)
+        # Defensive copy: callers may reuse and mutate their mapping.
+        # (Candidate enumeration avoids the copy via from_skeleton_parts,
+        # whose SkeletonCompleter owns a private dict.)
         self.txn_of: dict[int, int] = dict(txn_of or {})
         self.atomic_txns: frozenset[int] = frozenset(atomic_txns)
+
+    @classmethod
+    def from_skeleton_parts(
+        cls,
+        *,
+        events: tuple[Event, ...],
+        threads: tuple[tuple[int, ...], ...],
+        eids: frozenset[int],
+        by_eid: dict[int, Event],
+        rf: Relation,
+        co,
+        addr: Relation,
+        ctrl: Relation,
+        data: Relation,
+        rmw: Relation,
+        txn_of: dict[int, int],
+        atomic_txns: frozenset[int],
+    ) -> "Execution":
+        """Fast constructor for candidate enumeration.
+
+        The caller passes pre-sorted events, prebuilt lookup tables, and
+        prebuilt relations shared across one skeleton's completions, so
+        none of the per-instance normalisation of ``__init__`` runs.
+        """
+        x = cls.__new__(cls)
+        x.events = events
+        x.threads = threads
+        x._eids = eids
+        x._by_eid = by_eid
+        x._rf = rf
+        x._co_input = co if isinstance(co, Relation) else Relation(co, eids)
+        x._addr = addr
+        x._ctrl = ctrl
+        x._data = data
+        x._rmw = rmw
+        x.txn_of = txn_of
+        x.atomic_txns = atomic_txns
+        return x
+
+    @staticmethod
+    def _as_relation(value, uni: frozenset[int]) -> Relation:
+        """Accept either pair iterables or ready-made :class:`Relation`
+        instances over the execution's universe (candidate enumeration
+        builds the skeleton-fixed relations once and reuses them)."""
+        if isinstance(value, Relation) and value.universe == uni:
+            return value
+        return Relation(value, uni)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -142,23 +200,60 @@ class Execution:
     # ------------------------------------------------------------------
 
     @cached_property
+    def _intern_uid(self) -> int:
+        """A stable identifier for this execution's universe, used as an
+        intern-table key component.  When the universe is not interned
+        (cache overflow), falls back to a fresh negative counter value --
+        unique forever, so it disables cross-execution sharing without
+        ever aliasing another execution's cache entries."""
+        uni = _universe(self._eids)
+        if uni.interned:
+            return id(uni)
+        return -next(_INTERN_UID_FALLBACK)
+
+    @cached_property
+    def _loc_key(self) -> tuple:
+        """Per-event location assignment (None for non-memory events)."""
+        return tuple(
+            e.loc if e.is_memory_access else None for e in self.events
+        )
+
+    @cached_property
+    def _kind_key(self) -> tuple:
+        return tuple(e.kind for e in self.events)
+
+    @cached_property
+    def _txn_key(self) -> tuple:
+        return tuple(sorted(self.txn_of.items()))
+
+    @cached_property
     def po(self) -> Relation:
         """Program order: per-thread strict total order from ``threads``."""
-        pairs = []
-        for seq in self.threads:
-            for i, a in enumerate(seq):
-                for b in seq[i + 1 :]:
-                    pairs.append((a, b))
-        return Relation(pairs, self._eids)
+
+        def compute() -> Relation:
+            pairs = []
+            for seq in self.threads:
+                for i, a in enumerate(seq):
+                    for b in seq[i + 1 :]:
+                        pairs.append((a, b))
+            return Relation(pairs, self._eids)
+
+        return global_intern(("po", self._intern_uid, self.threads), compute)
 
     @cached_property
     def po_imm(self) -> Relation:
         """Immediate (adjacent) program-order pairs."""
-        pairs = []
-        for seq in self.threads:
-            for a, b in zip(seq, seq[1:]):
-                pairs.append((a, b))
-        return Relation(pairs, self._eids)
+
+        def compute() -> Relation:
+            pairs = []
+            for seq in self.threads:
+                for a, b in zip(seq, seq[1:]):
+                    pairs.append((a, b))
+            return Relation(pairs, self._eids)
+
+        return global_intern(
+            ("poimm", self._intern_uid, self.threads), compute
+        )
 
     @property
     def rf(self) -> Relation:
@@ -197,19 +292,31 @@ class Execution:
     @cached_property
     def sloc(self) -> Relation:
         """Same-location equivalence over memory events."""
-        by_loc: dict[str, list[int]] = {}
-        for e in self.events:
-            if e.is_memory_access and e.loc is not None:
-                by_loc.setdefault(e.loc, []).append(e.eid)
-        pairs = [
-            (a, b) for group in by_loc.values() for a in group for b in group
-        ]
-        return Relation(pairs, self._eids)
+
+        def compute() -> Relation:
+            by_loc: dict[str, list[int]] = {}
+            for e in self.events:
+                if e.is_memory_access and e.loc is not None:
+                    by_loc.setdefault(e.loc, []).append(e.eid)
+            pairs = [
+                (a, b)
+                for group in by_loc.values()
+                for a in group
+                for b in group
+            ]
+            return Relation(pairs, self._eids)
+
+        return global_intern(
+            ("sloc", self._intern_uid, self._loc_key), compute
+        )
 
     @cached_property
     def poloc(self) -> Relation:
         """``po ∩ sloc``."""
-        return self.po & self.sloc
+        return global_intern(
+            ("poloc", self._intern_uid, self.threads, self._loc_key),
+            lambda: self.po & self.sloc,
+        )
 
     @cached_property
     def fr(self) -> Relation:
@@ -219,46 +326,72 @@ class Execution:
         correctly fr-before *every* write to its location under this
         definition.
         """
-        r_to_w = self.sloc.restrict(self.reads, self.writes).irreflexive_part()
+        # co is stored transitively closed, so (co⁻¹)* is co⁻¹ ∪ id.
         seen_or_earlier = self._rf.inverse().compose(
-            self.co.inverse().reflexive_transitive_closure()
+            self.co.inverse().optional()
         )
-        return r_to_w - seen_or_earlier
+        return self._fr_static - seen_or_earlier
+
+    @cached_property
+    def _fr_static(self) -> Relation:
+        """``[R] ; sloc ; [W]`` minus the diagonal -- the rf/co-free part
+        of ``fr``, shared across a skeleton's completions."""
+        return global_intern(
+            ("frs", self._intern_uid, self._loc_key, self._kind_key),
+            lambda: self.sloc.restrict(
+                self.reads, self.writes
+            ).irreflexive_part(),
+        )
 
     @cached_property
     def com(self) -> Relation:
         """Communication: ``rf ∪ co ∪ fr`` (§2.1)."""
-        return self._rf | self.co | self.fr
+        return Relation.union_of(self._rf, self.co, self.fr)
 
     # External (inter-thread) / internal (intra-thread) restrictions.
 
     @cached_property
+    def same_thread(self) -> Relation:
+        """``(po ∪ po⁻¹)*`` -- the same-thread equivalence every
+        internal/external restriction shares.  Since po is a per-thread
+        total order, this is just "same thread or same event", built
+        directly from the thread sequences (no closure computation)."""
+
+        def compute() -> Relation:
+            out = Relation.empty(self._eids)
+            for seq in self.threads:
+                out = out | Relation.cross(seq, seq, self._eids)
+            return out.optional()
+
+        return global_intern(("st", self._intern_uid, self.threads), compute)
+
+    @cached_property
     def rfe(self) -> Relation:
-        return inter_thread(self._rf, self.po)
+        return self._rf - self.same_thread
 
     @cached_property
     def rfi(self) -> Relation:
-        return intra_thread(self._rf, self.po)
+        return self._rf & self.same_thread
 
     @cached_property
     def coe(self) -> Relation:
-        return inter_thread(self.co, self.po)
+        return self.co - self.same_thread
 
     @cached_property
     def coi(self) -> Relation:
-        return intra_thread(self.co, self.po)
+        return self.co & self.same_thread
 
     @cached_property
     def fre(self) -> Relation:
-        return inter_thread(self.fr, self.po)
+        return self.fr - self.same_thread
 
     @cached_property
     def fri(self) -> Relation:
-        return intra_thread(self.fr, self.po)
+        return self.fr & self.same_thread
 
     @cached_property
     def come(self) -> Relation:
-        return self.rfe | self.coe | self.fre
+        return Relation.union_of(self.rfe, self.coe, self.fre)
 
     # ------------------------------------------------------------------
     # Transactions (§3.1)
@@ -272,13 +405,22 @@ class Execution:
     def stxn(self) -> Relation:
         """Successful-transaction PER: all pairs within one class,
         including the diagonal (§3.1)."""
-        classes: dict[int, list[int]] = {}
-        for eid, txn in self.txn_of.items():
-            classes.setdefault(txn, []).append(eid)
-        pairs = [
-            (a, b) for group in classes.values() for a in group for b in group
-        ]
-        return Relation(pairs, self._eids)
+
+        def compute() -> Relation:
+            classes: dict[int, list[int]] = {}
+            for eid, txn in self.txn_of.items():
+                classes.setdefault(txn, []).append(eid)
+            pairs = [
+                (a, b)
+                for group in classes.values()
+                for a in group
+                for b in group
+            ]
+            return Relation(pairs, self._eids)
+
+        return global_intern(
+            ("stxn", self._intern_uid, self._txn_key), compute
+        )
 
     @cached_property
     def stxnat(self) -> Relation:
@@ -308,30 +450,45 @@ class Execution:
         """Implicit transaction fences (§5.2):
         ``tfence = po ∩ ((¬stxn ; stxn) ∪ (stxn ; ¬stxn))`` -- po edges
         that enter or exit a successful transaction."""
-        stxn = self.stxn
-        not_stxn = ~stxn
-        boundary = not_stxn.compose(stxn) | stxn.compose(not_stxn)
-        return self.po & boundary
+        if not self.txn_of:
+            return Relation.empty(self._eids)
+
+        def compute() -> Relation:
+            stxn = self.stxn
+            not_stxn = ~stxn
+            boundary = not_stxn.compose(stxn) | stxn.compose(not_stxn)
+            return self.po & boundary
+
+        return global_intern(
+            ("tfence", self._intern_uid, self.threads, self._txn_key),
+            compute,
+        )
 
     # ------------------------------------------------------------------
     # Fence relations (events of flavour k induce a po-pair relation)
     # ------------------------------------------------------------------
 
     def _fence_relation(self, flavour: str) -> Relation:
-        fence_eids = [
+        fence_eids = tuple(
             e.eid
             for e in self.events
             if e.kind == FENCE and flavour in e.tags
-        ]
+        )
         if not fence_eids:
             return Relation.empty(self._eids)
-        po = self.po
-        pairs = set()
-        for f in fence_eids:
-            before = po.predecessors(f)
-            after = po.successors(f)
-            pairs |= {(a, b) for a in before for b in after}
-        return Relation(pairs, self._eids)
+
+        def compute() -> Relation:
+            po = self.po
+            pairs = set()
+            for f in fence_eids:
+                before = po.predecessors(f)
+                after = po.successors(f)
+                pairs |= {(a, b) for a in before for b in after}
+            return Relation(pairs, self._eids)
+
+        return global_intern(
+            ("fence", self._intern_uid, self.threads, fence_eids), compute
+        )
 
     @cached_property
     def mfence(self) -> Relation:
@@ -417,6 +574,95 @@ class Execution:
             for e in self.events
             if e.is_memory_access and e.eid not in self.atomics
         )
+
+    # ------------------------------------------------------------------
+    # Derived-relation sharing
+    # ------------------------------------------------------------------
+
+    @property
+    def context(self) -> RelationContext:
+        """The interned per-execution relation cache (identity/full, the
+        cat environment, cross-axiom memo slots)."""
+        return RelationContext.of(self)
+
+    #: Cached attributes that depend only on the *skeleton* -- events,
+    #: threads, dependencies, and transaction structure -- not on the
+    #: rf/co completion.  Candidate enumeration completes one skeleton
+    #: thousands of times; these values are identical across all of its
+    #: completions and are shared via :meth:`adopt_skeleton_caches`.
+    _SKELETON_STATIC = (
+        "_intern_uid",
+        "_loc_key",
+        "_kind_key",
+        "_txn_key",
+        "reads",
+        "writes",
+        "fences",
+        "memory_events",
+        "locations",
+        "po",
+        "po_imm",
+        "deps",
+        "sloc",
+        "poloc",
+        "_fr_static",
+        "same_thread",
+        "transactional_events",
+        "stxn",
+        "stxnat",
+        "txn_classes",
+        "tfence",
+        "mfence",
+        "sync",
+        "lwsync",
+        "isync",
+        "dmb",
+        "dmbld",
+        "dmbst",
+        "isb",
+        "acq",
+        "rel",
+        "sc_events",
+        "atomics",
+        "non_atomics",
+    )
+    _SKELETON_STATIC_SET = frozenset(_SKELETON_STATIC)
+
+    #: Cached attributes that depend only on the skeleton plus the rf
+    #: choice (not on co): shareable across one rf choice's co completions.
+    _RF_STATIC = ("rfe", "rfi")
+
+    def adopt_rf_caches(self, template: "Execution") -> "Execution":
+        """Copy rf-derived cached relations from ``template``, which must
+        share this execution's skeleton *and* rf choice."""
+        own = self.__dict__
+        for name in self._RF_STATIC:
+            value = template.__dict__.get(name)
+            if value is not None and name not in own:
+                own[name] = value
+        return self
+
+    def adopt_skeleton_caches(self, template: "Execution") -> "Execution":
+        """Copy skeleton-derived cached relations from ``template``.
+
+        The caller guarantees that ``template`` has the same events,
+        threads, dependency edges, and transaction structure -- only the
+        ``rf``/``co`` completion may differ.  Whatever the template has
+        already computed is inherited; the rest stays lazy.
+        """
+        own = self.__dict__
+        for name, value in template.__dict__.items():
+            if name in self._SKELETON_STATIC_SET and name not in own:
+                own[name] = value
+        # Model-derived relations marked skeleton-static (keys prefixed
+        # "static:") are shared through the RelationContext as well.
+        template_ctx = template.__dict__.get("_relation_context")
+        if template_ctx is not None:
+            own_cache = RelationContext.of(self)._cache
+            for key, value in template_ctx._cache.items():
+                if key.startswith("static:") and key not in own_cache:
+                    own_cache[key] = value
+        return self
 
     # ------------------------------------------------------------------
     # Functional updates (used by §4.2 weakenings and §8 transforms)
@@ -564,3 +810,82 @@ class Execution:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Execution |E|={len(self.events)} threads={len(self.threads)}>"
+
+
+class SkeletonCompleter:
+    """Builds one skeleton's rf/co completions with shared static parts.
+
+    Both candidate enumerators (``repro.enumeration.complete`` and
+    ``repro.litmus.candidates``) complete a fixed skeleton -- events,
+    threads, dependency edges, transaction structure -- with many rf/co
+    choices.  This helper owns the per-skeleton invariants they must
+    agree on: events sorted by eid, empty threads dropped (matching
+    ``Execution.__init__`` normalisation), dependency relations and
+    lookup tables built once, and the skeleton-template /
+    rf-template cache-adoption protocol applied in that order.
+
+    Usage::
+
+        completer = SkeletonCompleter(events, threads, addr, ctrl,
+                                      data, rmw, txn_of, atomic_txns)
+        for rf_pairs in ...:
+            completer.start_rf(rf_pairs)
+            for co_pairs in ...:
+                execution = completer.complete(co_pairs)
+    """
+
+    def __init__(
+        self,
+        events: Iterable[Event],
+        threads: Sequence[Sequence[int]],
+        addr: Iterable[tuple[int, int]],
+        ctrl: Iterable[tuple[int, int]],
+        data: Iterable[tuple[int, int]],
+        rmw: Iterable[tuple[int, int]],
+        txn_of: Mapping[int, int],
+        atomic_txns: Iterable[int],
+    ):
+        self.events = tuple(sorted(events, key=lambda e: e.eid))
+        self.threads = tuple(tuple(t) for t in threads if len(t) > 0)
+        self.uni = frozenset(e.eid for e in self.events)
+        self.by_eid = {e.eid: e for e in self.events}
+        self.addr = Relation(addr, self.uni)
+        self.ctrl = Relation(ctrl, self.uni)
+        self.data = Relation(data, self.uni)
+        self.rmw = Relation(rmw, self.uni)
+        self.txn_of = dict(txn_of)
+        self.atomic_txns = frozenset(atomic_txns)
+        self._template: Execution | None = None
+        self._rf_rel: Relation | None = None
+        self._rf_template: Execution | None = None
+
+    def start_rf(self, rf_pairs: Iterable[tuple[int, int]]) -> None:
+        """Fix the rf choice for the completions that follow."""
+        self._rf_rel = Relation(rf_pairs, self.uni)
+        self._rf_template = None
+
+    def complete(self, co_pairs: Iterable[tuple[int, int]]) -> Execution:
+        """One completion of the current rf choice."""
+        execution = Execution.from_skeleton_parts(
+            events=self.events,
+            threads=self.threads,
+            eids=self.uni,
+            by_eid=self.by_eid,
+            rf=self._rf_rel,
+            co=co_pairs,
+            addr=self.addr,
+            ctrl=self.ctrl,
+            data=self.data,
+            rmw=self.rmw,
+            txn_of=self.txn_of,
+            atomic_txns=self.atomic_txns,
+        )
+        if self._template is None:
+            self._template = execution
+        else:
+            execution.adopt_skeleton_caches(self._template)
+        if self._rf_template is None:
+            self._rf_template = execution
+        else:
+            execution.adopt_rf_caches(self._rf_template)
+        return execution

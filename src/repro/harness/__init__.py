@@ -3,6 +3,7 @@
 from .ablation import AblationResult, run_ablation
 from .export import export_suite
 from .figure7 import Figure7Result, run_figure7
+from .pipeline import CheckPipeline, hardware_for, model_for, run_job
 from .figures import FiguresResult, run_figures
 from .rtl_bug import RTLBugResult, run_rtl_bug
 from .table1 import Table1Result, Table1Row, run_table1
@@ -11,6 +12,10 @@ from .table2 import Table2Result, Table2Row, run_table2
 __all__ = [
     "AblationResult",
     "run_ablation",
+    "CheckPipeline",
+    "hardware_for",
+    "model_for",
+    "run_job",
     "Figure7Result",
     "export_suite",
     "FiguresResult",

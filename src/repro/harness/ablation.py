@@ -15,9 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..enumeration import SynthesisResult, synthesise
-from ..models import get_model
-from ..sim import FilteredModel
+from ..enumeration import SynthesisResult
+from .pipeline import CheckPipeline
 
 
 @dataclass
@@ -53,37 +52,46 @@ def run_ablation(
     target: str,
     max_events: int = 3,
     synthesis: SynthesisResult | None = None,
+    pipeline: CheckPipeline | None = None,
 ) -> AblationResult:
-    """Attribute each synthesised Forbid test to the axioms catching it."""
+    """Attribute each synthesised Forbid test to the axioms catching it.
+
+    All model checks go through the batched ``pipeline``: one batch of
+    violated-axiom queries, then one batch of dropped-axiom consistency
+    probes for the (test, axiom) pairs that need them.
+    """
+    pipeline = pipeline or CheckPipeline()
     if synthesis is None:
-        synthesis = synthesise(target, max_events)
-    model = get_model(f"{target}tm" if target != "sc" else "tsc")
+        synthesis = pipeline.synthesis(target, max_events)
+    model_name = f"{target}tm" if target != "sc" else "tsc"
 
     result = AblationResult(
         target=target, total_tests=len(synthesis.forbidden)
     )
-    axiom_names = [
-        name
-        for name, _ in model.axiom_thunks(
-            synthesis.forbidden[0] if synthesis.forbidden else _dummy()
-        )
-    ]
-    dropped_models = {
-        axiom: FilteredModel(model, drop_axioms=(axiom,))
-        for axiom in axiom_names
-    }
 
-    for x in synthesis.forbidden:
-        violated = model.violated_axioms(x)
+    violated_per_test = pipeline.violated_axioms_batch(
+        model_name, synthesis.forbidden
+    )
+    probes = [
+        (index, axiom)
+        for index, violated in enumerate(violated_per_test)
+        for axiom in violated
+    ]
+    probe_verdicts = pipeline.run_jobs(
+        ("consistent", model_name, (axiom,), synthesis.forbidden[index])
+        for index, axiom in probes
+    )
+    escapes_per_test: dict[int, list[str]] = {}
+    for (index, axiom), escaped in zip(probes, probe_verdicts):
+        if escaped:
+            escapes_per_test.setdefault(index, []).append(axiom)
+
+    for index, violated in enumerate(violated_per_test):
         for axiom in violated:
             result.violation_counts[axiom] = (
                 result.violation_counts.get(axiom, 0) + 1
             )
-        escapes = [
-            axiom
-            for axiom in violated
-            if dropped_models[axiom].consistent(x)
-        ]
+        escapes = escapes_per_test.get(index, [])
         if len(escapes) == 1:
             result.sole_catcher_counts[escapes[0]] = (
                 result.sole_catcher_counts.get(escapes[0], 0) + 1
@@ -91,11 +99,3 @@ def run_ablation(
         elif not escapes:
             result.never_escaping += 1
     return result
-
-
-def _dummy():
-    from ..events import ExecutionBuilder
-
-    b = ExecutionBuilder()
-    b.thread().write("x")
-    return b.build()

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..enumeration import SynthesisResult, synthesise
+from ..enumeration import SynthesisResult
+from .pipeline import CheckPipeline
 
 
 @dataclass
@@ -77,10 +78,16 @@ def run_figure7(
     max_events: int = 4,
     time_budget: float | None = None,
     synthesis: SynthesisResult | None = None,
+    pipeline: CheckPipeline | None = None,
 ) -> Figure7Result:
-    """Regenerate Figure 7's curve at reproduction scale."""
+    """Regenerate Figure 7's curve at reproduction scale.
+
+    With a shared ``pipeline``, the synthesis run is reused across
+    Table 1 / Figure 7 / ablation drivers instead of recomputed.
+    """
     if synthesis is None:
-        synthesis = synthesise(arch, max_events, time_budget=time_budget)
+        pipeline = pipeline or CheckPipeline()
+        synthesis = pipeline.synthesis(arch, max_events, time_budget)
     return Figure7Result(
         arch=arch,
         max_events=max_events,

@@ -1,0 +1,205 @@
+"""Batched litmus-checking pipeline.
+
+The experiment drivers (Tables 1 and 2, Figure 7, the axiom ablation)
+all reduce to long lists of independent jobs: "would this litmus test be
+observable on that machine?", "is this execution consistent under that
+model?".  :class:`CheckPipeline` evaluates such job lists through one
+shared cache layer:
+
+* **synthesis cache** -- Table 1, Figure 7, and the ablation all consume
+  the same :func:`~repro.enumeration.synthesise` run; the pipeline
+  computes it once per ``(arch, max_events, time_budget)``.
+* **batched evaluation** -- jobs are submitted as a list and evaluated
+  in order, either sequentially (the default) or fanned out across a
+  ``multiprocessing`` pool (``workers > 1``, or the
+  ``REPRO_PIPELINE_WORKERS`` environment variable).  Results are
+  returned in submission order, so verdicts are identical either way.
+
+Jobs reference hardware and models *by name* so that worker processes
+can rebuild them locally instead of pickling model objects; each worker
+keeps a per-process registry.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence
+
+from ..enumeration import SynthesisResult, synthesise
+from ..models import get_model
+from ..models.base import MemoryModel
+
+# ---------------------------------------------------------------------------
+# Per-process registries (shared by the driver process and pool workers)
+# ---------------------------------------------------------------------------
+
+_HARDWARE_CACHE: dict[str, object] = {}
+_MODEL_CACHE: dict[tuple[str, tuple[str, ...]], MemoryModel] = {}
+
+
+def hardware_for(arch: str):
+    """The simulated machine validating ``arch`` litmus tests."""
+    machine = _HARDWARE_CACHE.get(arch)
+    if machine is None:
+        from ..sim import OracleHardware, TSOHardware
+
+        if arch == "x86":
+            machine = TSOHardware()
+        elif arch == "power":
+            machine = OracleHardware.power8(get_model("powertm"))
+        elif arch == "armv8":
+            machine = OracleHardware(get_model("armv8tm"), name="ARM-sim")
+        else:
+            raise ValueError(f"no simulated hardware for {arch!r}")
+        _HARDWARE_CACHE[arch] = machine
+    return machine
+
+
+def model_for(name: str, drop_axioms: tuple[str, ...] = ()) -> MemoryModel:
+    """A (possibly axiom-filtered) model instance, cached per process."""
+    key = (name, drop_axioms)
+    model = _MODEL_CACHE.get(key)
+    if model is None:
+        model = get_model(name)
+        if drop_axioms:
+            from ..sim import FilteredModel
+
+            model = FilteredModel(model, drop_axioms=drop_axioms)
+        _MODEL_CACHE[key] = model
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Job evaluation (top-level so pool workers can unpickle it)
+# ---------------------------------------------------------------------------
+
+
+def run_job(job: tuple):
+    """Evaluate one job tuple; the first element selects the kind.
+
+    * ``("observable", arch, program, intended_co)`` → bool
+    * ``("consistent", model_name, drop_axioms, execution)`` → bool
+    * ``("violated", model_name, drop_axioms, execution)`` → list[str]
+    """
+    kind = job[0]
+    if kind == "observable":
+        _, arch, program, intended_co = job
+        return hardware_for(arch).observable(program, intended_co)
+    if kind == "consistent":
+        _, name, drop, execution = job
+        return model_for(name, drop).consistent(execution)
+    if kind == "violated":
+        _, name, drop, execution = job
+        return model_for(name, drop).violated_axioms(execution)
+    raise ValueError(f"unknown job kind {kind!r}")
+
+
+class CheckPipeline:
+    """Evaluates batches of checking jobs through shared caches.
+
+    Args:
+        workers: fan-out width.  ``None`` reads ``REPRO_PIPELINE_WORKERS``
+            (defaulting to sequential); ``0``/``1`` force sequential
+            evaluation; larger values use a ``multiprocessing`` pool.
+    """
+
+    def __init__(self, workers: int | None = None):
+        if workers is None:
+            workers = int(os.environ.get("REPRO_PIPELINE_WORKERS", "1"))
+        self.workers = max(1, workers)
+        self._synthesis_cache: dict[tuple, SynthesisResult] = {}
+        self._pool = None
+
+    # The pipeline owns one worker pool across batches; drivers issue
+    # several small batches (one per test size), so per-batch pool
+    # spawn/teardown would eat the fan-out benefit.
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when sequential)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "CheckPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- shared synthesis ------------------------------------------------
+
+    def synthesis(
+        self,
+        arch: str,
+        max_events: int,
+        time_budget: float | None = None,
+    ) -> SynthesisResult:
+        """``synthesise(arch, max_events)``, computed once per pipeline."""
+        key = (arch, max_events, time_budget)
+        if key not in self._synthesis_cache:
+            self._synthesis_cache[key] = synthesise(
+                arch, max_events, time_budget=time_budget
+            )
+        return self._synthesis_cache[key]
+
+    # -- batched evaluation ----------------------------------------------
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Ordered map over independent items, optionally fanned out.
+
+        ``fn`` must be a module-level callable when ``workers > 1``
+        (pool workers import it by qualified name).
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            import multiprocessing
+
+            # Jobs reference hardware/models by name, so both start
+            # methods are safe; prefer fork for lower start-up cost.
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._pool = context.Pool(self.workers)
+        return self._pool.map(fn, items)
+
+    def run_jobs(self, jobs: Iterable[tuple]) -> list:
+        """Evaluate job tuples (see :func:`run_job`) in submission order."""
+        return self.map(run_job, list(jobs))
+
+    def observable_batch(
+        self, arch: str, tests: Sequence[tuple[object, dict | None]]
+    ) -> list[bool]:
+        """Batch of ``(program, intended_co)`` hardware validations."""
+        return self.run_jobs(
+            ("observable", arch, program, intended_co)
+            for program, intended_co in tests
+        )
+
+    def consistency_batch(
+        self,
+        model_name: str,
+        executions: Sequence,
+        drop_axioms: tuple[str, ...] = (),
+    ) -> list[bool]:
+        """Batch of model-consistency checks, models referenced by name."""
+        return self.run_jobs(
+            ("consistent", model_name, drop_axioms, x) for x in executions
+        )
+
+    def violated_axioms_batch(
+        self, model_name: str, executions: Sequence
+    ) -> list[list[str]]:
+        """Batch of violated-axiom queries."""
+        return self.run_jobs(
+            ("violated", model_name, (), x) for x in executions
+        )

@@ -19,10 +19,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..enumeration import SynthesisResult, synthesise
+from ..enumeration import SynthesisResult
 from ..litmus import execution_to_litmus
-from ..models import get_model
-from ..sim import OracleHardware, TSOHardware
+from .pipeline import CheckPipeline, hardware_for
 
 
 @dataclass
@@ -86,16 +85,6 @@ class Table1Result:
         return "\n".join(lines)
 
 
-def _hardware_for(arch: str):
-    if arch == "x86":
-        return TSOHardware()
-    if arch == "power":
-        return OracleHardware.power8(get_model("powertm"))
-    if arch == "armv8":
-        return OracleHardware(get_model("armv8tm"), name="ARM-sim")
-    raise ValueError(f"no simulated hardware for {arch!r}")
-
-
 def _is_lb_shaped(execution) -> bool:
     """LB shapes carry a po ∪ rf cycle (§5.3's unobserved family)."""
     return not (execution.po | execution.rf).is_acyclic()
@@ -106,13 +95,19 @@ def run_table1(
     max_events: int = 4,
     time_budget: float | None = None,
     synthesis: SynthesisResult | None = None,
+    pipeline: CheckPipeline | None = None,
 ) -> Table1Result:
-    """Regenerate Table 1 for one architecture."""
+    """Regenerate Table 1 for one architecture.
+
+    Hardware validation runs through the batched ``pipeline`` (shared
+    synthesis cache, optional multiprocessing fan-out); verdicts are
+    identical to the sequential path by construction.
+    """
+    pipeline = pipeline or CheckPipeline()
     if synthesis is None:
-        synthesis = synthesise(arch, max_events, time_budget=time_budget)
-    hardware = _hardware_for(arch)
+        synthesis = pipeline.synthesis(arch, max_events, time_budget)
     result = Table1Result(
-        arch=arch, machine=hardware.name, synthesis=synthesis
+        arch=arch, machine=hardware_for(arch).name, synthesis=synthesis
     )
 
     forbid_by_size = synthesis.forbidden_by_size()
@@ -131,13 +126,19 @@ def run_table1(
             execution_to_litmus(x, f"{arch}-allow-{size}-{i}")
             for i, x in enumerate(allow_by_size.get(size, []))
         ]
-        forbid_seen = 0
-        for test in forbid_tests:
-            if hardware.observable(test.program, test.intended_co):
-                forbid_seen += 1
+        verdicts = pipeline.observable_batch(
+            arch,
+            [
+                (test.program, test.intended_co)
+                for test in forbid_tests + allow_tests
+            ],
+        )
+        forbid_seen = sum(verdicts[: len(forbid_tests)])
         allow_seen = 0
-        for test, x in zip(allow_tests, allow_by_size.get(size, [])):
-            if hardware.observable(test.program, test.intended_co):
+        for seen, x in zip(
+            verdicts[len(forbid_tests) :], allow_by_size.get(size, [])
+        ):
+            if seen:
                 allow_seen += 1
             else:
                 result.unseen_allow_total += 1

@@ -16,6 +16,7 @@ from ..metatheory import (
     check_lock_elision,
     check_monotonicity,
 )
+from .pipeline import CheckPipeline
 
 
 @dataclass
@@ -54,54 +55,39 @@ class Table2Result:
         return "\n".join(lines)
 
 
-def run_table2(
-    monotonicity_bounds: dict[str, int] | None = None,
-    compilation_bound: int = 3,
-    time_budget: float | None = 600.0,
-) -> Table2Result:
-    """Regenerate Table 2 (with reproduction-scale bounds)."""
-    result = Table2Result()
-    bounds = monotonicity_bounds or {
-        "x86": 4,
-        "power": 3,
-        "armv8": 3,
-        "cpp": 3,
-    }
-
-    for target, bound in bounds.items():
+def _run_row(spec: tuple) -> Table2Row:
+    """Evaluate one (independent) Table 2 row; top-level so the batched
+    pipeline can fan rows out across worker processes."""
+    kind = spec[0]
+    if kind == "monotonicity":
+        _, target, bound, time_budget = spec
         mono = check_monotonicity(target, bound, time_budget=time_budget)
         note = ""
         if mono.counterexample:
             x, c = mono.counterexample
             note = f"{c.description} (|E|={len(x)})"
-        result.rows.append(
-            Table2Row(
-                property_name="Monotonicity",
-                target=target,
-                bound=f"{bound} events",
-                elapsed=mono.elapsed,
-                complete=mono.complete,
-                counterexample_found=not mono.holds,
-                note=note,
-            )
+        return Table2Row(
+            property_name="Monotonicity",
+            target=target,
+            bound=f"{bound} events",
+            elapsed=mono.elapsed,
+            complete=mono.complete,
+            counterexample_found=not mono.holds,
+            note=note,
         )
-
-    for target in ("x86", "power", "armv8"):
-        comp = check_compilation(
-            target, compilation_bound, time_budget=time_budget
+    if kind == "compilation":
+        _, target, bound, time_budget = spec
+        comp = check_compilation(target, bound, time_budget=time_budget)
+        return Table2Row(
+            property_name="Compilation",
+            target=f"C++/{target}",
+            bound=f"{bound} events",
+            elapsed=comp.elapsed,
+            complete=comp.complete,
+            counterexample_found=not comp.sound,
         )
-        result.rows.append(
-            Table2Row(
-                property_name="Compilation",
-                target=f"C++/{target}",
-                bound=f"{compilation_bound} events",
-                elapsed=comp.elapsed,
-                complete=comp.complete,
-                counterexample_found=not comp.sound,
-            )
-        )
-
-    for arch in ("x86", "power", "armv8", "armv8-fixed"):
+    if kind == "elision":
+        _, arch, _bound, time_budget = spec
         elision = check_lock_elision(arch, time_budget=time_budget)
         note = ""
         if elision.counterexample:
@@ -112,15 +98,47 @@ def run_table2(
                 + " || "
                 + "+".join(op.kind for op in ce.body1)
             )
-        result.rows.append(
-            Table2Row(
-                property_name="Lock elision",
-                target=arch,
-                bound="body menu",
-                elapsed=elision.elapsed,
-                complete=elision.complete,
-                counterexample_found=not elision.sound,
-                note=note,
-            )
+        return Table2Row(
+            property_name="Lock elision",
+            target=arch,
+            bound="body menu",
+            elapsed=elision.elapsed,
+            complete=elision.complete,
+            counterexample_found=not elision.sound,
+            note=note,
         )
-    return result
+    raise ValueError(f"unknown row kind {kind!r}")
+
+
+def run_table2(
+    monotonicity_bounds: dict[str, int] | None = None,
+    compilation_bound: int = 3,
+    time_budget: float | None = 600.0,
+    pipeline: CheckPipeline | None = None,
+) -> Table2Result:
+    """Regenerate Table 2 (with reproduction-scale bounds).
+
+    The rows are independent checks, so they run as one batch through
+    the ``pipeline`` (optionally fanned out across processes) and are
+    collected in the table's canonical order.
+    """
+    pipeline = pipeline or CheckPipeline()
+    bounds = monotonicity_bounds or {
+        "x86": 4,
+        "power": 3,
+        "armv8": 3,
+        "cpp": 3,
+    }
+    specs: list[tuple] = [
+        ("monotonicity", target, bound, time_budget)
+        for target, bound in bounds.items()
+    ]
+    specs.extend(
+        ("compilation", target, compilation_bound, time_budget)
+        for target in ("x86", "power", "armv8")
+    )
+    specs.extend(
+        ("elision", arch, None, time_budget)
+        for arch in ("x86", "power", "armv8", "armv8-fixed")
+    )
+    return Table2Result(rows=pipeline.map(_run_row, specs))

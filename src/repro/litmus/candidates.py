@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..events import Event, Execution, FENCE, READ, WRITE
+from ..events.execution import SkeletonCompleter
 from ..models.base import MemoryModel
 from .program import (
     AbortUnless,
@@ -265,6 +266,19 @@ def _complete_skeleton(
 
     all_committed = len(committed) == total_txns
 
+    # The completer owns the shared static parts and the cache-adoption
+    # protocol; all completions of one skeleton share po/sloc/stxn/...
+    completer = SkeletonCompleter(
+        events=sk.events,
+        threads=sk.threads,
+        addr=sk.addr,
+        ctrl=sk.ctrl,
+        data=sk.data,
+        rmw=sk.rmw,
+        txn_of=sk.txn_of,
+        atomic_txns=sk.atomic_txns,
+    )
+
     for rf_choice in itertools.product(*read_choices):
         rf_pairs = [
             (src, r) for src, r in zip(rf_choice, sk.reads) if src is not None
@@ -282,24 +296,14 @@ def _complete_skeleton(
             sk.reg_of_read[r]: value for r, value in read_values.items()
         }
 
+        completer.start_rf(rf_pairs)
         for co_perm in itertools.product(*co_choices_per_loc):
             co_pairs = [
                 (a, b)
                 for perm in co_perm
                 for a, b in zip(perm, perm[1:])
             ]
-            execution = Execution(
-                events=sk.events,
-                threads=sk.threads,
-                rf=rf_pairs,
-                co=co_pairs,
-                addr=sk.addr,
-                ctrl=sk.ctrl,
-                data=sk.data,
-                rmw=sk.rmw,
-                txn_of=sk.txn_of,
-                atomic_txns=sk.atomic_txns,
-            )
+            execution = completer.complete(co_pairs)
             memory = {
                 loc: (sk.write_value[perm[-1]] if perm else 0)
                 for loc, perm in zip(locs, co_perm)

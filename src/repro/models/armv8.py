@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from ..events import Execution
 from ..relations import Relation
-from .base import AxiomThunk, MemoryModel, Memo
+from .base import AxiomThunk, MemoryModel
 from .common import (
     coherence_ok,
     rmw_isolation_ok,
@@ -59,6 +59,21 @@ class ARMv8Model(MemoryModel):
         what makes the ARM spinlock elidable-unsafe (Example 1.1) while
         Power's ctrl-isync idiom orders more strongly.
         """
+        static = x.context.get(
+            "static:armv8.dobstatic", lambda: self._dob_static(x)
+        )
+        ctrl = x.context.get(
+            "static:armv8.rctrl",
+            lambda: Relation.from_set(x.reads, x.eids).compose(x.ctrl),
+        )
+        return (
+            static
+            | (ctrl | x.data).compose(x.coi)
+            | (x.addr | x.data).compose(x.rfi)
+        )
+
+    def _dob_static(self, x: Execution) -> Relation:
+        """The rf/co-independent part of ``dob``."""
         w_id = Relation.from_set(x.writes, x.eids)
         r_id = Relation.from_set(x.reads, x.eids)
         ctrl = r_id.compose(x.ctrl)  # read-sourced only
@@ -72,8 +87,6 @@ class ARMv8Model(MemoryModel):
             | ctrl.compose(w_id)
             | isb_order
             | addr_po.compose(w_id)
-            | (ctrl | x.data).compose(x.coi)
-            | (x.addr | x.data).compose(x.rfi)
         )
 
     def aob(self, x: Execution) -> Relation:
@@ -84,6 +97,14 @@ class ARMv8Model(MemoryModel):
 
     def bob(self, x: Execution) -> Relation:
         """Barrier-ordered-before."""
+        static = x.context.get(
+            "static:armv8.bobstatic", lambda: self._bob_static(x)
+        )
+        po_rel = x.po.compose(Relation.from_set(x.rel, x.eids))
+        return static | po_rel.compose(x.coi)
+
+    def _bob_static(self, x: Execution) -> Relation:
+        """The rf/co-independent part of ``bob``."""
         r_id = Relation.from_set(x.reads, x.eids)
         w_id = Relation.from_set(x.writes, x.eids)
         acq_id = Relation.from_set(x.acq, x.eids)
@@ -95,25 +116,27 @@ class ARMv8Model(MemoryModel):
             | w_id.compose(x.dmbst).compose(w_id)
             | acq_id.compose(x.po)
             | po_rel
-            | po_rel.compose(x.coi)
             | rel_id.compose(x.po).compose(acq_id)
         )
 
     def ob(self, x: Execution) -> Relation:
         """Ordered-before (Fig. 8): ``come ∪ dob ∪ aob ∪ bob`` plus, in
         the TM extension, ``tfence``."""
-        out = x.come | self.dob(x) | self.aob(x) | self.bob(x)
         if self.is_transactional:
-            out = out | x.tfence
-        return out
+            return Relation.union_of(
+                x.come, self.dob(x), self.aob(x), self.bob(x), x.tfence
+            )
+        return Relation.union_of(
+            x.come, self.dob(x), self.aob(x), self.bob(x)
+        )
 
     # ------------------------------------------------------------------
     # Axioms
     # ------------------------------------------------------------------
 
     def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
-        memo = Memo()
-        ob = lambda: memo.get("ob", lambda: self.ob(x))
+        variant = "tm" if self.is_transactional else "base"
+        ob = lambda: x.context.get(f"armv8.ob.{variant}", lambda: self.ob(x))
         thunks: list[AxiomThunk] = [
             ("Coherence", lambda: coherence_ok(x)),
             ("RMWIsol", lambda: rmw_isolation_ok(x)),
@@ -128,3 +151,22 @@ class ARMv8Model(MemoryModel):
                 ]
             )
         return thunks
+
+    def consistent(self, x: Execution) -> bool:
+        # Straight-line hot path mirroring axiom_thunks (see X86Model).
+        if not coherence_ok(x):
+            return False
+        if not rmw_isolation_ok(x):
+            return False
+        variant = "tm" if self.is_transactional else "base"
+        ob = x.context.get(f"armv8.ob.{variant}", lambda: self.ob(x))
+        if not ob.is_acyclic():
+            return False
+        if self.is_transactional:
+            if not strong_isolation_ok(x):
+                return False
+            if not txn_order_ok(x, ob):
+                return False
+            if not txn_cancels_rmw_ok(x):
+                return False
+        return True

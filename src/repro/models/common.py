@@ -7,12 +7,18 @@ verbatim; they are factored out here:
 * ``RMWIsol``:    ``empty(rmw ∩ (fre ; coe))``
 * ``StrongIsol``: ``acyclic(stronglift(com, stxn))`` (§3.3)
 * ``TxnCancelsRMW``: ``empty(rmw ∩ tfence*)`` (Power/ARMv8 only)
+
+The transaction-structure inputs (``stxn?``, ``tfence*``) depend only on
+the execution's skeleton, so they are interned through the execution's
+:class:`~repro.relations.RelationContext` and shared across all rf/co
+completions of one skeleton.
 """
 
 from __future__ import annotations
 
 from ..events import Execution
-from ..relations import Relation, stronglift
+from ..relations import Relation
+from ..relations.context import global_intern
 
 
 def coherence_ok(x: Execution) -> bool:
@@ -23,21 +29,54 @@ def coherence_ok(x: Execution) -> bool:
 def rmw_isolation_ok(x: Execution) -> bool:
     """``empty(rmw ∩ (fre ; coe))`` -- no write intervenes between the
     two halves of an atomic read-modify-write."""
+    if x.rmw.is_empty():
+        return True
     return (x.rmw & x.fre.compose(x.coe)).is_empty()
+
+
+def _stxn_optional(x: Execution) -> Relation:
+    """``stxn?``, interned per transaction structure (both lifting
+    axioms use it)."""
+    return x.context.get(
+        "static:stxn.opt",
+        lambda: global_intern(
+            ("stxnopt", x._intern_uid, x._txn_key),
+            lambda: x.stxn.optional(),
+        ),
+    )
 
 
 def strong_isolation_ok(x: Execution) -> bool:
     """``acyclic(stronglift(com, stxn))`` -- the StrongIsol axiom."""
-    return stronglift(x.com, x.stxn).is_acyclic()
+    if not x.txn_of:
+        # stxn? degenerates to the identity: the lift is com itself.
+        return x.com.is_acyclic()
+    txn_opt = _stxn_optional(x)
+    lifted = txn_opt.compose(x.com - x.stxn).compose(txn_opt)
+    return lifted.is_acyclic()
 
 
 def txn_order_ok(x: Execution, hb: Relation) -> bool:
     """``acyclic(stronglift(hb, stxn))`` -- the TxnOrder axiom, for the
     model-specific happens-before/ordered-before relation."""
-    return stronglift(hb, x.stxn).is_acyclic()
+    if not x.txn_of:
+        # stxn? degenerates to the identity: the lift is hb itself, whose
+        # acyclicity verdict is already cached from the Order axiom.
+        return hb.is_acyclic()
+    txn_opt = _stxn_optional(x)
+    return txn_opt.compose(hb - x.stxn).compose(txn_opt).is_acyclic()
 
 
 def txn_cancels_rmw_ok(x: Execution) -> bool:
     """``empty(rmw ∩ tfence*)`` -- an RMW whose halves straddle a
     transaction boundary always fails (Power §5.2, ARMv8 §6.1)."""
-    return (x.rmw & x.tfence.reflexive_transitive_closure()).is_empty()
+    if x.rmw.is_empty():
+        return True
+    tfence_star = x.context.get(
+        "static:tfence.rtc",
+        lambda: global_intern(
+            ("tfencertc", x._intern_uid, x.threads, x._txn_key),
+            lambda: x.tfence.reflexive_transitive_closure(),
+        ),
+    )
+    return (x.rmw & tfence_star).is_empty()

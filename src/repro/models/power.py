@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from ..events import Execution
 from ..relations import Relation, stronglift, weaklift
-from .base import AxiomThunk, MemoryModel, Memo
+from .base import AxiomThunk, MemoryModel
 from .common import (
     coherence_ok,
     rmw_isolation_ok,
@@ -60,17 +60,26 @@ class PowerModel(MemoryModel):
         ``ii``/``ic``/``ci``/``cc`` relate the *init* (i) or *commit* (c)
         parts of instruction pairs; the fixpoint is computed by simple
         iteration, which terminates because each relation only grows
-        within a finite universe.
+        within a finite universe.  The result is identical for the TM and
+        baseline variants, so it is cached once per execution.
         """
-        dp = x.addr | x.data
+        return x.context.get("power.ppo", lambda: self._compute_ppo(x))
+
+    def _compute_ppo(self, x: Execution) -> Relation:
+        dp = x.context.get("static:power.dp", lambda: x.addr | x.data)
         rdw = x.poloc & x.fre.compose(x.rfe)
         detour = x.poloc & x.coe.compose(x.rfe)
-        ctrl_isync = x.ctrl & x.isync
+        ctrl_isync = x.context.get(
+            "static:power.ctrlisync", lambda: x.ctrl & x.isync
+        )
 
         ii0 = dp | rdw | x.rfi
         ci0 = ctrl_isync | detour
         ic0 = Relation.empty(x.eids)
-        cc0 = dp | x.poloc | x.ctrl | x.addr.compose(x.po)
+        cc0 = x.context.get(
+            "static:power.cc0",
+            lambda: dp | x.poloc | x.ctrl | x.addr.compose(x.po),
+        )
 
         ii, ic, ci, cc = ii0, ic0, ci0, cc0
         while True:
@@ -96,10 +105,13 @@ class PowerModel(MemoryModel):
         later *stores*, and -- when an isync intervenes (ctrl-isync) --
         before every later access.  This is the mechanism that makes the
         Power spinlock stronger than ARMv8's in §8.3."""
-        wex = Relation.from_set(x.rmw.range(), x.eids)
-        wex_ctrl = wex.compose(x.ctrl)
-        w_id = Relation.from_set(x.writes, x.eids)
-        return (wex_ctrl & x.isync) | wex_ctrl.compose(w_id)
+        def compute() -> Relation:
+            wex = Relation.from_set(x.rmw.range(), x.eids)
+            wex_ctrl = wex.compose(x.ctrl)
+            w_id = Relation.from_set(x.writes, x.eids)
+            return (wex_ctrl & x.isync) | wex_ctrl.compose(w_id)
+
+        return x.context.get("static:power.wexctrl", compute)
 
     # ------------------------------------------------------------------
     # Fences and happens-before (Fig. 6)
@@ -107,15 +119,25 @@ class PowerModel(MemoryModel):
 
     def fence(self, x: Execution) -> Relation:
         """``fence = sync ∪ tfence ∪ (lwsync \\ (W × R))``."""
-        lwsync_effective = x.lwsync - Relation.cross(x.writes, x.reads, x.eids)
-        out = x.sync | lwsync_effective
-        if self.is_transactional:
-            out = out | x.tfence
-        return out
+
+        def compute() -> Relation:
+            lwsync_effective = x.lwsync - Relation.cross(
+                x.writes, x.reads, x.eids
+            )
+            out = x.sync | lwsync_effective
+            if self.is_transactional:
+                out = out | x.tfence
+            return out
+
+        variant = "tm" if self.is_transactional else "base"
+        return x.context.get(f"static:power.fence.{variant}", compute)
 
     def ihb(self, x: Execution) -> Relation:
         """Intra-thread happens-before: ``ppo ∪ fence``."""
-        return self.ppo(x) | self.fence(x)
+        variant = "tm" if self.is_transactional else "base"
+        return x.context.get(
+            f"power.ihb.{variant}", lambda: self.ppo(x) | self.fence(x)
+        )
 
     def thb(self, x: Execution) -> Relation:
         """Transaction happens-before (§5.2, Transaction Ordering):
@@ -171,11 +193,15 @@ class PowerModel(MemoryModel):
     # ------------------------------------------------------------------
 
     def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
-        memo = Memo()
-        hb = lambda: memo.get("hb", lambda: self.hb(x))
-        prop = lambda: memo.get("prop", lambda: self.prop(x, hb()))
+        memo = x.context
+        variant = "tm" if self.is_transactional else "base"
+        hb = lambda: memo.get(f"power.hb.{variant}", lambda: self.hb(x))
+        prop = lambda: memo.get(
+            f"power.prop.{variant}", lambda: self.prop(x, hb())
+        )
         hb_star = lambda: memo.get(
-            "hb_star", lambda: hb().reflexive_transitive_closure()
+            f"power.hbstar.{variant}",
+            lambda: hb().reflexive_transitive_closure(),
         )
         thunks: list[AxiomThunk] = [
             ("Coherence", lambda: coherence_ok(x)),
@@ -196,3 +222,32 @@ class PowerModel(MemoryModel):
                 ]
             )
         return thunks
+
+    def consistent(self, x: Execution) -> bool:
+        # Straight-line hot path mirroring axiom_thunks (see X86Model).
+        if not coherence_ok(x):
+            return False
+        if not rmw_isolation_ok(x):
+            return False
+        memo = x.context
+        variant = "tm" if self.is_transactional else "base"
+        hb = memo.get(f"power.hb.{variant}", lambda: self.hb(x))
+        if not hb.is_acyclic():
+            return False
+        prop = memo.get(f"power.prop.{variant}", lambda: self.prop(x, hb))
+        if not (x.co | prop).is_acyclic():
+            return False
+        hb_star = memo.get(
+            f"power.hbstar.{variant}",
+            lambda: hb.reflexive_transitive_closure(),
+        )
+        if not x.fre.compose(prop).compose(hb_star).is_irreflexive():
+            return False
+        if self.is_transactional:
+            if not strong_isolation_ok(x):
+                return False
+            if not txn_order_ok(x, hb):
+                return False
+            if not txn_cancels_rmw_ok(x):
+                return False
+        return True

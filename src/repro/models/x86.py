@@ -23,8 +23,15 @@ from __future__ import annotations
 
 from ..events import Execution
 from ..relations import Relation
-from .base import AxiomThunk, MemoryModel, Memo
+from ..relations.context import global_intern
+from ..relations.relation import (
+    acyclic_rows_cached,
+    compose_rows,
+    transpose_rows,
+)
+from .base import AxiomThunk, MemoryModel
 from .common import (
+    _stxn_optional,
     coherence_ok,
     rmw_isolation_ok,
     strong_isolation_ok,
@@ -48,36 +55,87 @@ class X86Model(MemoryModel):
 
     def ppo(self, x: Execution) -> Relation:
         """Preserved program order: everything but W→R reordering."""
-        w, r = x.writes, x.reads
-        keep = (
-            Relation.cross(w, w, x.eids)
-            | Relation.cross(r, w, x.eids)
-            | Relation.cross(r, r, x.eids)
+
+        def compute() -> Relation:
+            # ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po, computed as two restrictions
+            # of po: memory events into writes, plus reads into reads.
+            w, r = x.writes, x.reads
+            return x.po.restrict(w | r, w) | x.po.restrict(r, r)
+
+        return x.context.get(
+            "static:x86.ppo",
+            lambda: global_intern(
+                ("x86ppo", x._intern_uid, x.threads, x._kind_key), compute
+            ),
         )
-        return keep & x.po
 
     def implied(self, x: Execution) -> Relation:
         """Fences implied by LOCK'd instructions -- and, with TM, by
         transaction boundaries."""
-        locked = x.rmw.domain() | x.rmw.range()
-        locked_id = Relation.from_set(locked, x.eids)
-        out = locked_id.compose(x.po) | x.po.compose(locked_id)
-        if self.is_transactional:
-            out = out | x.tfence
-        return out
+
+        def compute() -> Relation:
+            if x.rmw.is_empty():
+                # No LOCK'd instructions: only transaction boundaries
+                # (if any) imply fences.
+                if self.is_transactional:
+                    return x.tfence
+                return Relation.empty(x.eids)
+            locked = x.rmw.domain() | x.rmw.range()
+            locked_id = Relation.from_set(locked, x.eids)
+            out = locked_id.compose(x.po) | x.po.compose(locked_id)
+            if self.is_transactional:
+                out = out | x.tfence
+            return out
+
+        variant = "tm" if self.is_transactional else "base"
+        return x.context.get(
+            f"static:x86.implied.{variant}",
+            lambda: global_intern(
+                (
+                    "x86implied",
+                    variant,
+                    x._intern_uid,
+                    x.threads,
+                    x.rmw._rows,
+                    x._txn_key,
+                ),
+                compute,
+            ),
+        )
+
+    def _hb_static(self, x: Execution) -> Relation:
+        """``mfence ∪ ppo ∪ implied`` -- the skeleton-static part of hb,
+        interned across executions sharing the same inputs."""
+        variant = "tm" if self.is_transactional else "base"
+        return x.context.get(
+            f"static:x86.hbbase.{variant}",
+            lambda: global_intern(
+                (
+                    "x86hbb",
+                    variant,
+                    x._intern_uid,
+                    x.threads,
+                    x._kind_key,
+                    x.mfence._rows,
+                    x.rmw._rows,
+                    x._txn_key,
+                ),
+                lambda: x.mfence | self.ppo(x) | self.implied(x),
+            ),
+        )
 
     def hb(self, x: Execution) -> Relation:
-        return (
-            x.mfence | self.ppo(x) | self.implied(x) | x.rfe | x.fr | x.co
-        )
+        # mfence/ppo/implied depend only on the skeleton; rfe/fr/co are
+        # the per-candidate communication part.
+        return Relation.union_of(self._hb_static(x), x.rfe, x.fr, x.co)
 
     # ------------------------------------------------------------------
     # Axioms
     # ------------------------------------------------------------------
 
     def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
-        memo = Memo()
-        hb = lambda: memo.get("hb", lambda: self.hb(x))
+        variant = "tm" if self.is_transactional else "base"
+        hb = lambda: x.context.get(f"x86.hb.{variant}", lambda: self.hb(x))
         thunks: list[AxiomThunk] = [
             ("Coherence", lambda: coherence_ok(x)),
             ("RMWIsol", lambda: rmw_isolation_ok(x)),
@@ -91,3 +149,106 @@ class X86Model(MemoryModel):
                 ]
             )
         return thunks
+
+    def consistent(self, x: Execution) -> bool:
+        """Fused row-level consistency kernel.
+
+        This is the hottest call in enumeration loops, so the axioms are
+        evaluated directly over adjacency-bitset rows -- no intermediate
+        :class:`Relation` objects.  It is verdict-identical to the
+        generic ``axiom_thunks`` conjunction (property-tested), which
+        remains the source of truth for diagnostics.
+        """
+        po = x.po
+        uni = po._uni
+        rf = x.rf
+        co = x.co
+        fr_static = x._fr_static
+        if rf._uni is not uni or co._uni is not uni or fr_static._uni is not uni:
+            # Mixed universes (hand-built executions): generic path.
+            return all(thunk() for _, thunk in self.axiom_thunks(x))
+
+        rf_rows = rf._rows
+        co_rows = co._rows
+
+        # fr: every read fr-precedes all same-location writes except its
+        # rf source and that source's co-predecessors.
+        fr_sub = None
+        co_pred = None
+        for w, observers in enumerate(rf_rows):
+            if not observers:
+                continue
+            if co_pred is None:
+                co_pred = transpose_rows(co_rows)
+                fr_sub = [0] * len(rf_rows)
+            sub = (1 << w) | co_pred[w]
+            mask = observers
+            while mask:
+                bit = mask & -mask
+                fr_sub[bit.bit_length() - 1] |= sub
+                mask ^= bit
+        if fr_sub is None:
+            fr_rows = fr_static._rows
+        else:
+            fr_rows = [s & ~u for s, u in zip(fr_static._rows, fr_sub)]
+
+        # Coherence: acyclic(poloc ∪ rf ∪ co ∪ fr).
+        coherence = tuple(
+            p | a | b | c
+            for p, a, b, c in zip(x.poloc._rows, rf_rows, co_rows, fr_rows)
+        )
+        if not acyclic_rows_cached(uni, coherence):
+            return False
+
+        same_thread = x.same_thread._rows
+
+        # RMWIsol: empty(rmw ∩ (fre ; coe)).
+        rmw_rows = x.rmw._rows
+        if any(rmw_rows):
+            fre = [f & ~t for f, t in zip(fr_rows, same_thread)]
+            coe = [c & ~t for c, t in zip(co_rows, same_thread)]
+            fre_coe = compose_rows(fre, coe)
+            if any(r & m for r, m in zip(rmw_rows, fre_coe)):
+                return False
+
+        # Order: acyclic(hb), hb = (mfence ∪ ppo ∪ implied) ∪ rfe ∪ fr ∪ co.
+        static = self._hb_static(x)
+        hb_rows = tuple(
+            s | (r & ~t) | f | c
+            for s, r, t, f, c in zip(
+                static._rows, rf_rows, same_thread, fr_rows, co_rows
+            )
+        )
+        if not acyclic_rows_cached(uni, hb_rows):
+            return False
+
+        if self.is_transactional:
+            if x.txn_of:
+                stxn_rows = x.stxn._rows
+                txn_opt = _stxn_optional(x)._rows
+                # StrongIsol: acyclic(stxn? ; (com \ stxn) ; stxn?).
+                com_minus = [
+                    (a | b | c) & ~s
+                    for a, b, c, s in zip(rf_rows, co_rows, fr_rows, stxn_rows)
+                ]
+                lifted = compose_rows(
+                    compose_rows(txn_opt, com_minus), txn_opt
+                )
+                if not acyclic_rows_cached(uni, tuple(lifted)):
+                    return False
+                # TxnOrder: acyclic(stxn? ; (hb \ stxn) ; stxn?).
+                hb_minus = [h & ~s for h, s in zip(hb_rows, stxn_rows)]
+                lifted = compose_rows(
+                    compose_rows(txn_opt, hb_minus), txn_opt
+                )
+                if not acyclic_rows_cached(uni, tuple(lifted)):
+                    return False
+            else:
+                # stxn? is the identity: StrongIsol degenerates to
+                # acyclic(com); TxnOrder to acyclic(hb), checked above.
+                com = tuple(
+                    a | b | c for a, b, c in zip(rf_rows, co_rows, fr_rows)
+                )
+                if not acyclic_rows_cached(uni, com):
+                    return False
+        return True

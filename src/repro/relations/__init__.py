@@ -10,11 +10,13 @@ from .algebra import (
     union_all,
     weaklift,
 )
+from .context import RelationContext
 from .relation import Pair, Relation
 
 __all__ = [
     "Pair",
     "Relation",
+    "RelationContext",
     "acyclic",
     "empty",
     "inter_thread",

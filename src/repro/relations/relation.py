@@ -12,10 +12,20 @@ constructions are well defined -- the paper's models use complements such
 as ``¬ stxn`` (Figs. 5, 6, 8), which only make sense relative to the set
 of events of the execution under consideration.
 
-Executions in this reproduction are small (≤ ~14 events), so the
-implementation favours clarity over asymptotic cleverness; the only
-performance-sensitive consumers are the enumeration loops, which mainly
-rely on cheap construction and on :meth:`Relation.is_acyclic`.
+Internally a relation is an *adjacency bitset*: the universe is
+dense-indexed (sorted element ``i`` gets bit ``i``) and the relation is a
+tuple of ``int`` bitmasks, one row per source element, where bit ``j`` of
+row ``i`` means element ``i`` relates to element ``j``.  Union,
+intersection, difference, and complement are then single bitwise
+operations per row; composition ORs target rows; transitive closure is
+Floyd–Warshall over rows; and acyclicity is Warshall with an early exit
+on the diagonal.  Universes are interned (:class:`_Universe`) so that
+all relations of one execution share the same index map and operations
+between them hit the aligned fast path.
+
+The pair-set view (:attr:`Relation.pairs`) is materialised lazily and
+cached, so consumers that iterate pairs (diagnostics, canonicalisation,
+fingerprints) see exactly the frozenset they always did.
 """
 
 from __future__ import annotations
@@ -25,20 +35,220 @@ from typing import Callable, Iterable, Iterator
 Pair = tuple[int, int]
 
 
+class _Universe:
+    """An interned, dense-indexed universe of event identifiers.
+
+    Holds the sorted element tuple, the element → bit-position map, the
+    all-ones row mask, and per-universe caches of the identity and full
+    relations (which the cat evaluator and the models request for every
+    axiom of every execution).
+    """
+
+    __slots__ = (
+        "elements",
+        "index",
+        "full_mask",
+        "frozen",
+        "interned",
+        "_identity",
+        "_full",
+    )
+
+    def __init__(self, eids: frozenset[int]):
+        self.elements: tuple[int, ...] = tuple(sorted(eids))
+        self.index: dict[int, int] = {e: i for i, e in enumerate(self.elements)}
+        self.full_mask: int = (1 << len(self.elements)) - 1
+        self.frozen: frozenset[int] = eids
+        self.interned: bool = False
+        self._identity: "Relation | None" = None
+        self._full: "Relation | None" = None
+
+
+_UNIVERSE_CACHE: dict[frozenset[int], _Universe] = {}
+_UNIVERSE_CACHE_MAX = 1 << 16
+
+
+def _universe(eids: frozenset[int]) -> _Universe:
+    uni = _UNIVERSE_CACHE.get(eids)
+    if uni is None:
+        uni = _Universe(eids)
+        if len(_UNIVERSE_CACHE) < _UNIVERSE_CACHE_MAX:
+            _UNIVERSE_CACHE[eids] = uni
+            uni.interned = True
+    return uni
+
+
+def _decode(mask: int, elements: tuple[int, ...]) -> Iterator[int]:
+    """Yield the universe elements whose bits are set in ``mask``."""
+    while mask:
+        bit = mask & -mask
+        yield elements[bit.bit_length() - 1]
+        mask ^= bit
+
+
+# ---------------------------------------------------------------------------
+# Raw-row kernels.  These operate on plain lists/tuples of int bitmasks so
+# that fused hot paths (the models' consistency kernels) can chain them
+# without allocating intermediate Relation objects; the Relation methods
+# delegate to them.
+# ---------------------------------------------------------------------------
+
+
+def compose_rows(a, b) -> list[int]:
+    """Rows of the composition ``a ; b`` (same universe, same indexing)."""
+    out = []
+    for row in a:
+        acc = 0
+        mask = row
+        while mask:
+            bit = mask & -mask
+            acc |= b[bit.bit_length() - 1]
+            mask ^= bit
+        out.append(acc)
+    return out
+
+
+def transpose_rows(rows) -> list[int]:
+    """Rows of the inverse relation."""
+    out = [0] * len(rows)
+    for i, row in enumerate(rows):
+        bit_i = 1 << i
+        mask = row
+        while mask:
+            bit = mask & -mask
+            out[bit.bit_length() - 1] |= bit_i
+            mask ^= bit
+    return out
+
+
+def closure_rows(rows) -> list[int]:
+    """Rows of the transitive closure (Floyd–Warshall over bitmasks)."""
+    rows = list(rows)
+    for k, row_k in enumerate(rows):
+        if not row_k:
+            continue
+        bit = 1 << k
+        for i, row_i in enumerate(rows):
+            if row_i & bit:
+                rows[i] = row_i | rows[k]
+    return rows
+
+
+def acyclic_rows(rows) -> bool:
+    """Warshall with an early exit the moment any element reaches itself."""
+    for i, row in enumerate(rows):
+        if row >> i & 1:
+            return False
+    rows = list(rows)
+    for k, row_k in enumerate(rows):
+        if not row_k:
+            continue
+        bit = 1 << k
+        for i, row_i in enumerate(rows):
+            if row_i & bit:
+                row_i |= rows[k]
+                if row_i >> i & 1:
+                    return False
+                rows[i] = row_i
+    return True
+
+
+def _rebuild(pairs: tuple[Pair, ...], elements: tuple[int, ...]) -> "Relation":
+    return Relation(pairs, elements)
+
+
+#: Acyclicity verdicts interned across relation instances.  Candidate
+#: enumeration checks acyclic(hb)/acyclic(poloc ∪ com) for thousands of
+#: completions whose derived relations coincide; keying on the interned
+#: universe and the row tuple turns repeats into one dict probe.
+_ACYCLIC_CACHE: dict[tuple[int, tuple[int, ...]], bool] = {}
+_ACYCLIC_CACHE_MAX = 1 << 20
+
+
+def acyclic_rows_cached(uni: _Universe, rows: tuple[int, ...]) -> bool:
+    """``acyclic_rows`` with the verdict interned per (universe, rows)."""
+    if uni.interned:
+        # Interned universes are immortal, so their id is a stable key.
+        key = (id(uni), rows)
+        verdict = _ACYCLIC_CACHE.get(key)
+        if verdict is None:
+            verdict = acyclic_rows(rows)
+            if len(_ACYCLIC_CACHE) >= _ACYCLIC_CACHE_MAX:
+                # Reset rather than stop caching: bounds memory while
+                # keeping the cache effective for the current workload.
+                _ACYCLIC_CACHE.clear()
+            _ACYCLIC_CACHE[key] = verdict
+        return verdict
+    return acyclic_rows(rows)
+
+
 class Relation:
     """An immutable binary relation over a finite universe of ints."""
 
-    __slots__ = ("_pairs", "_universe", "_hash")
+    __slots__ = ("_uni", "_rows", "_pairs", "_hash", "_acyclic")
 
     def __init__(self, pairs: Iterable[Pair] = (), universe: Iterable[int] = ()):
-        pair_set = frozenset((int(a), int(b)) for a, b in pairs)
-        uni = frozenset(int(u) for u in universe)
-        for a, b in pair_set:
-            if a not in uni or b not in uni:
-                uni = uni | {a, b}
-        self._pairs = pair_set
-        self._universe = uni
+        pair_list = [(int(a), int(b)) for a, b in pairs]
+        eids = set(int(u) for u in universe)
+        for a, b in pair_list:
+            eids.add(a)
+            eids.add(b)
+        uni = _universe(frozenset(eids))
+        index = uni.index
+        rows = [0] * len(uni.elements)
+        for a, b in pair_list:
+            rows[index[a]] |= 1 << index[b]
+        self._uni = uni
+        self._rows: tuple[int, ...] = tuple(rows)
+        self._pairs: frozenset[Pair] | None = None
         self._hash: int | None = None
+        self._acyclic: bool | None = None
+
+    @classmethod
+    def _make(cls, uni: _Universe, rows: Iterable[int]) -> "Relation":
+        rel = cls.__new__(cls)
+        rel._uni = uni
+        rel._rows = tuple(rows)
+        rel._pairs = None
+        rel._hash = None
+        rel._acyclic = None
+        return rel
+
+    def __reduce__(self):
+        return (_rebuild, (tuple(self.pairs), self._uni.elements))
+
+    # ------------------------------------------------------------------
+    # Universe alignment
+    # ------------------------------------------------------------------
+
+    def _realigned_rows(self, uni: _Universe) -> list[int]:
+        """This relation's rows re-indexed into ``uni`` (a superset)."""
+        old = self._uni
+        if old is uni:
+            return list(self._rows)
+        rows = [0] * len(uni.elements)
+        index = uni.index
+        elements = old.elements
+        for i, row in enumerate(self._rows):
+            if not row:
+                continue
+            new_row = 0
+            mask = row
+            while mask:
+                bit = mask & -mask
+                new_row |= 1 << index[elements[bit.bit_length() - 1]]
+                mask ^= bit
+            rows[index[elements[i]]] = new_row
+        return rows
+
+    def _aligned(
+        self, other: "Relation"
+    ) -> tuple[_Universe, list[int] | tuple[int, ...], list[int] | tuple[int, ...]]:
+        """A shared universe plus both relations' rows over it."""
+        if self._uni is other._uni:
+            return self._uni, self._rows, other._rows
+        merged = _universe(self._uni.frozen | other._uni.frozen)
+        return merged, self._realigned_rows(merged), other._realigned_rows(merged)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -47,20 +257,33 @@ class Relation:
     @property
     def pairs(self) -> frozenset[Pair]:
         """The set of pairs in the relation."""
+        if self._pairs is None:
+            elements = self._uni.elements
+            self._pairs = frozenset(
+                (elements[i], b)
+                for i, row in enumerate(self._rows)
+                for b in _decode(row, elements)
+            )
         return self._pairs
 
     @property
     def universe(self) -> frozenset[int]:
         """The universe the relation (and its complement) ranges over."""
-        return self._universe
+        return self._uni.frozen
 
     def domain(self) -> frozenset[int]:
         """Elements appearing as the source of some pair."""
-        return frozenset(a for a, _ in self._pairs)
+        elements = self._uni.elements
+        return frozenset(
+            elements[i] for i, row in enumerate(self._rows) if row
+        )
 
     def range(self) -> frozenset[int]:
         """Elements appearing as the target of some pair."""
-        return frozenset(b for _, b in self._pairs)
+        acc = 0
+        for row in self._rows:
+            acc |= row
+        return frozenset(_decode(acc, self._uni.elements))
 
     def field(self) -> frozenset[int]:
         """Elements appearing in some pair, as source or target."""
@@ -68,26 +291,45 @@ class Relation:
 
     def successors(self, a: int) -> frozenset[int]:
         """All ``b`` with ``(a, b)`` in the relation."""
-        return frozenset(y for x, y in self._pairs if x == a)
+        i = self._uni.index.get(a)
+        if i is None:
+            return frozenset()
+        return frozenset(_decode(self._rows[i], self._uni.elements))
 
     def predecessors(self, b: int) -> frozenset[int]:
         """All ``a`` with ``(a, b)`` in the relation."""
-        return frozenset(x for x, y in self._pairs if y == b)
+        j = self._uni.index.get(b)
+        if j is None:
+            return frozenset()
+        bit = 1 << j
+        elements = self._uni.elements
+        return frozenset(
+            elements[i] for i, row in enumerate(self._rows) if row & bit
+        )
 
     def is_empty(self) -> bool:
-        return not self._pairs
+        return not any(self._rows)
 
     def __len__(self) -> int:
-        return len(self._pairs)
+        return sum(row.bit_count() for row in self._rows)
 
     def __iter__(self) -> Iterator[Pair]:
-        return iter(sorted(self._pairs))
+        return iter(sorted(self.pairs))
 
     def __contains__(self, pair: object) -> bool:
-        return pair in self._pairs
+        try:
+            a, b = pair  # type: ignore[misc]
+        except (TypeError, ValueError):
+            return False
+        index = self._uni.index
+        i = index.get(a)
+        j = index.get(b)
+        if i is None or j is None:
+            return False
+        return bool(self._rows[i] >> j & 1)
 
     def __bool__(self) -> bool:
-        return bool(self._pairs)
+        return any(self._rows)
 
     # ------------------------------------------------------------------
     # Equality / hashing / printing
@@ -96,87 +338,128 @@ class Relation:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        return self._pairs == other._pairs
+        if self._uni is other._uni:
+            return self._rows == other._rows
+        return self.pairs == other.pairs
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(self._pairs)
+            self._hash = hash(self.pairs)
         return self._hash
 
     def __repr__(self) -> str:
-        body = ", ".join(f"({a},{b})" for a, b in sorted(self._pairs))
+        body = ", ".join(f"({a},{b})" for a, b in sorted(self.pairs))
         return f"Relation({{{body}}})"
 
     # ------------------------------------------------------------------
     # Derived constructors
     # ------------------------------------------------------------------
 
-    def _with(self, pairs: Iterable[Pair], universe: frozenset[int]) -> "Relation":
-        rel = Relation.__new__(Relation)
-        rel._pairs = frozenset(pairs)
-        rel._universe = universe
-        rel._hash = None
-        return rel
-
     @staticmethod
     def empty(universe: Iterable[int] = ()) -> "Relation":
         """The empty relation over ``universe``."""
-        return Relation((), universe)
+        uni = _universe(frozenset(int(u) for u in universe))
+        return Relation._make(uni, (0,) * len(uni.elements))
 
     @staticmethod
     def identity(universe: Iterable[int]) -> "Relation":
         """The identity relation over ``universe``."""
-        uni = frozenset(universe)
-        return Relation(((u, u) for u in uni), uni)
+        uni = _universe(frozenset(int(u) for u in universe))
+        if uni._identity is None:
+            uni._identity = Relation._make(
+                uni, (1 << i for i in range(len(uni.elements)))
+            )
+        return uni._identity
 
     @staticmethod
     def full(universe: Iterable[int]) -> "Relation":
         """The complete relation ``universe × universe``."""
-        uni = frozenset(universe)
-        return Relation(((a, b) for a in uni for b in uni), uni)
+        uni = _universe(frozenset(int(u) for u in universe))
+        if uni._full is None:
+            uni._full = Relation._make(
+                uni, (uni.full_mask,) * len(uni.elements)
+            )
+        return uni._full
 
     @staticmethod
     def from_set(elements: Iterable[int], universe: Iterable[int] = ()) -> "Relation":
         """Lift a set to a relation: ``[s] = {(x, x) | x ∈ s}`` (§2.1)."""
-        elems = frozenset(elements)
-        return Relation(((e, e) for e in elems), frozenset(universe) | elems)
+        elems = frozenset(int(e) for e in elements)
+        uni = _universe(frozenset(int(u) for u in universe) | elems)
+        index = uni.index
+        rows = [0] * len(uni.elements)
+        for e in elems:
+            rows[index[e]] = 1 << index[e]
+        return Relation._make(uni, rows)
 
     @staticmethod
     def cross(
         lhs: Iterable[int], rhs: Iterable[int], universe: Iterable[int] = ()
     ) -> "Relation":
         """The Cartesian product ``lhs × rhs`` (e.g. ``W × R`` in Fig. 6)."""
-        left = frozenset(lhs)
-        right = frozenset(rhs)
-        uni = frozenset(universe) | left | right
-        return Relation(((a, b) for a in left for b in right), uni)
+        left = frozenset(int(e) for e in lhs)
+        right = frozenset(int(e) for e in rhs)
+        uni = _universe(frozenset(int(u) for u in universe) | left | right)
+        index = uni.index
+        target = 0
+        for b in right:
+            target |= 1 << index[b]
+        rows = [0] * len(uni.elements)
+        for a in left:
+            rows[index[a]] = target
+        return Relation._make(uni, rows)
 
     # ------------------------------------------------------------------
     # Boolean algebra
     # ------------------------------------------------------------------
 
-    def _merged_universe(self, other: "Relation") -> frozenset[int]:
-        if self._universe == other._universe:
-            return self._universe
-        return self._universe | other._universe
-
     def __or__(self, other: "Relation") -> "Relation":
         """Union."""
-        return self._with(self._pairs | other._pairs, self._merged_universe(other))
+        if self._uni is other._uni:
+            return Relation._make(
+                self._uni, [x | y for x, y in zip(self._rows, other._rows)]
+            )
+        uni, a, b = self._aligned(other)
+        return Relation._make(uni, [x | y for x, y in zip(a, b)])
 
     def __and__(self, other: "Relation") -> "Relation":
         """Intersection."""
-        return self._with(self._pairs & other._pairs, self._merged_universe(other))
+        if self._uni is other._uni:
+            return Relation._make(
+                self._uni, [x & y for x, y in zip(self._rows, other._rows)]
+            )
+        uni, a, b = self._aligned(other)
+        return Relation._make(uni, [x & y for x, y in zip(a, b)])
 
     def __sub__(self, other: "Relation") -> "Relation":
         """Difference."""
-        return self._with(self._pairs - other._pairs, self._merged_universe(other))
+        if self._uni is other._uni:
+            return Relation._make(
+                self._uni, [x & ~y for x, y in zip(self._rows, other._rows)]
+            )
+        uni, a, b = self._aligned(other)
+        return Relation._make(uni, [x & ~y for x, y in zip(a, b)])
+
+    @staticmethod
+    def union_of(first: "Relation", *rest: "Relation") -> "Relation":
+        """N-ary union in one pass (the models build ``com``/``hb`` as
+        unions of four to six relations; fusing skips the temporaries).
+        Falls back to pairwise union when universes differ."""
+        uni = first._uni
+        if all(r._uni is uni for r in rest):
+            rows = list(first._rows)
+            for rel in rest:
+                rows = [x | y for x, y in zip(rows, rel._rows)]
+            return Relation._make(uni, rows)
+        out = first
+        for rel in rest:
+            out = out | rel
+        return out
 
     def __invert__(self) -> "Relation":
         """Complement with respect to ``universe × universe`` (written ¬r)."""
-        uni = self._universe
-        missing = [(a, b) for a in uni for b in uni if (a, b) not in self._pairs]
-        return self._with(missing, uni)
+        full = self._uni.full_mask
+        return Relation._make(self._uni, [full & ~row for row in self._rows])
 
     # ------------------------------------------------------------------
     # Relational operators from §2.1
@@ -184,18 +467,15 @@ class Relation:
 
     def inverse(self) -> "Relation":
         """``r⁻¹``."""
-        return self._with(((b, a) for a, b in self._pairs), self._universe)
+        return Relation._make(self._uni, transpose_rows(self._rows))
 
     def compose(self, other: "Relation") -> "Relation":
         """Relational composition ``r₁ ; r₂`` (§2.1)."""
-        by_source: dict[int, list[int]] = {}
-        for a, b in other._pairs:
-            by_source.setdefault(a, []).append(b)
-        out: set[Pair] = set()
-        for a, mid in self._pairs:
-            for c in by_source.get(mid, ()):
-                out.add((a, c))
-        return self._with(out, self._merged_universe(other))
+        if self._uni is other._uni:
+            uni, a, b = self._uni, self._rows, other._rows
+        else:
+            uni, a, b = self._aligned(other)
+        return Relation._make(uni, compose_rows(a, b))
 
     def __rshift__(self, other: "Relation") -> "Relation":
         """``r1 >> r2`` is composition ``r1 ; r2`` -- reads left to right."""
@@ -203,52 +483,60 @@ class Relation:
 
     def optional(self) -> "Relation":
         """Reflexive closure ``r?``: ``r ∪ id`` over the universe."""
-        return self._with(
-            self._pairs | {(u, u) for u in self._universe}, self._universe
+        return Relation._make(
+            self._uni, [row | (1 << i) for i, row in enumerate(self._rows)]
         )
 
+    def _closure_rows(self) -> list[int]:
+        """Transitive closure, Floyd–Warshall over bitmask rows."""
+        return closure_rows(self._rows)
+
     def transitive_closure(self) -> "Relation":
-        """Transitive closure ``r⁺`` (Floyd–Warshall style on small graphs)."""
-        succ: dict[int, set[int]] = {}
-        for a, b in self._pairs:
-            succ.setdefault(a, set()).add(b)
-        # Iterate to a fixpoint; universes are tiny so this is cheap.
-        closed: dict[int, set[int]] = {a: set(bs) for a, bs in succ.items()}
-        changed = True
-        while changed:
-            changed = False
-            for a, bs in closed.items():
-                new = set()
-                for b in bs:
-                    new |= closed.get(b, frozenset())
-                if not new <= bs:
-                    bs |= new
-                    changed = True
-        out = {(a, b) for a, bs in closed.items() for b in bs}
-        return self._with(out, self._universe)
+        """Transitive closure ``r⁺`` (Floyd–Warshall on bitmask rows)."""
+        return Relation._make(self._uni, self._closure_rows())
 
     def reflexive_transitive_closure(self) -> "Relation":
         """``r* = r⁺ ∪ id``."""
-        return self.transitive_closure().optional()
+        return Relation._make(
+            self._uni,
+            [row | (1 << i) for i, row in enumerate(self._closure_rows())],
+        )
 
     def restrict(self, sources: Iterable[int], targets: Iterable[int]) -> "Relation":
         """``[sources] ; r ; [targets]``."""
-        src = frozenset(sources)
-        tgt = frozenset(targets)
-        return self._with(
-            ((a, b) for a, b in self._pairs if a in src and b in tgt),
-            self._universe,
+        index = self._uni.index
+        source_mask = 0
+        for a in sources:
+            i = index.get(a)
+            if i is not None:
+                source_mask |= 1 << i
+        target_mask = 0
+        for b in targets:
+            j = index.get(b)
+            if j is not None:
+                target_mask |= 1 << j
+        return Relation._make(
+            self._uni,
+            (
+                (row & target_mask) if source_mask >> i & 1 else 0
+                for i, row in enumerate(self._rows)
+            ),
         )
 
     def filter(self, predicate: Callable[[int, int], bool]) -> "Relation":
         """Pairs satisfying an arbitrary predicate."""
-        return self._with(
-            ((a, b) for a, b in self._pairs if predicate(a, b)), self._universe
-        )
+        index = self._uni.index
+        rows = [0] * len(self._uni.elements)
+        for a, b in self.pairs:
+            if predicate(a, b):
+                rows[index[a]] |= 1 << index[b]
+        return Relation._make(self._uni, rows)
 
     def irreflexive_part(self) -> "Relation":
         """The relation with all ``(x, x)`` pairs removed."""
-        return self._with(((a, b) for a, b in self._pairs if a != b), self._universe)
+        return Relation._make(
+            self._uni, [row & ~(1 << i) for i, row in enumerate(self._rows)]
+        )
 
     # ------------------------------------------------------------------
     # Predicates used by the models' axioms
@@ -256,49 +544,25 @@ class Relation:
 
     def is_irreflexive(self) -> bool:
         """``irreflexive(r)``: no ``(x, x)`` pair."""
-        return all(a != b for a, b in self._pairs)
+        return not any(row >> i & 1 for i, row in enumerate(self._rows))
 
     def is_acyclic(self) -> bool:
         """``acyclic(r)``: the transitive closure is irreflexive.
 
-        Implemented as an iterative cycle search (colour-marking DFS)
-        rather than by materialising the closure, because this is the
-        single hottest predicate in enumeration loops.
+        Warshall over bitmask rows with an early exit the moment any
+        element reaches itself -- this is the single hottest predicate in
+        enumeration loops, so the verdict is cached on the instance and
+        interned globally by (universe, rows).
         """
-        succ: dict[int, list[int]] = {}
-        for a, b in self._pairs:
-            if a == b:
-                return False
-            succ.setdefault(a, []).append(b)
-        white, grey, black = 0, 1, 2
-        colour: dict[int, int] = {}
-        for start in succ:
-            if colour.get(start, white) != white:
-                continue
-            stack: list[tuple[int, int]] = [(start, 0)]
-            colour[start] = grey
-            while stack:
-                node, index = stack[-1]
-                children = succ.get(node, ())
-                if index < len(children):
-                    stack[-1] = (node, index + 1)
-                    child = children[index]
-                    state = colour.get(child, white)
-                    if state == grey:
-                        return False
-                    if state == white:
-                        colour[child] = grey
-                        stack.append((child, 0))
-                else:
-                    colour[node] = black
-                    stack.pop()
-        return True
+        if self._acyclic is None:
+            self._acyclic = acyclic_rows_cached(self._uni, self._rows)
+        return self._acyclic
 
     def is_transitive(self) -> bool:
-        return self.transitive_closure() == self.irreflexive_part() | self
+        return self._closure_rows() == list(self._rows)
 
     def is_symmetric(self) -> bool:
-        return all((b, a) in self._pairs for a, b in self._pairs)
+        return self._rows == self.inverse()._rows
 
     def is_partial_equivalence(self) -> bool:
         """Symmetric and transitive (the well-formedness condition on
@@ -306,21 +570,22 @@ class Relation:
         if not self.is_symmetric():
             return False
         composed = self.compose(self)
-        return composed.pairs <= self._pairs
+        return all(c & ~r == 0 for c, r in zip(composed._rows, self._rows))
 
     def is_strict_total_order_on(self, elements: Iterable[int]) -> bool:
         """Strict total order over ``elements`` (used for per-thread po and
         per-location co, §2.1)."""
         elems = sorted(frozenset(elements))
         for i, a in enumerate(elems):
-            if (a, a) in self._pairs:
+            if (a, a) in self:
                 return False
             for b in elems[i + 1 :]:
-                forward = (a, b) in self._pairs
-                backward = (b, a) in self._pairs
+                forward = (a, b) in self
+                backward = (b, a) in self
                 if forward == backward:
                     return False
-        return self.filter(lambda a, b: a in elems and b in elems).is_acyclic()
+        members = frozenset(elems)
+        return self.restrict(members, members).is_acyclic()
 
     def equivalence_classes(self) -> list[frozenset[int]]:
         """Connected classes of a partial equivalence relation, sorted by
@@ -348,7 +613,7 @@ class Relation:
         that witnesses them.
         """
         succ: dict[int, list[int]] = {}
-        for a, b in self._pairs:
+        for a, b in sorted(self.pairs):
             if a == b:
                 return [a]
             succ.setdefault(a, []).append(b)

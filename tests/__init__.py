@@ -1,0 +1,2 @@
+"""Unit and property tests (package-scoped so module basenames may
+overlap with benchmarks/)."""

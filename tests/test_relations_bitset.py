@@ -1,0 +1,178 @@
+"""Property tests: the bitset-backed Relation against a pair-set oracle.
+
+The bitset engine (adjacency bitmasks over a dense-indexed universe) is
+an internal representation change; these tests pin its observable
+behaviour to a deliberately naive frozenset-of-pairs model for every
+operator the memory models use.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import get_model
+from repro.relations import Relation
+
+# Small universes keep the oracle exhaustive and shrinking readable.
+ELEMENTS = st.integers(min_value=0, max_value=7)
+PAIRS = st.frozensets(st.tuples(ELEMENTS, ELEMENTS), max_size=20)
+UNIVERSES = st.frozensets(ELEMENTS, max_size=8)
+
+
+def widen(pairs: frozenset, universe: frozenset) -> frozenset:
+    out = set(universe)
+    for a, b in pairs:
+        out.add(a)
+        out.add(b)
+    return frozenset(out)
+
+
+def oracle_compose(p1: frozenset, p2: frozenset) -> frozenset:
+    return frozenset(
+        (a, d) for a, b in p1 for c, d in p2 if b == c
+    )
+
+
+def oracle_closure(pairs: frozenset) -> frozenset:
+    out = set(pairs)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b), (c, d) in itertools.product(tuple(out), tuple(out)):
+            if b == c and (a, d) not in out:
+                out.add((a, d))
+                changed = True
+    return frozenset(out)
+
+
+def oracle_acyclic(pairs: frozenset) -> bool:
+    return all(a != b for a, b in oracle_closure(pairs))
+
+
+@given(PAIRS, PAIRS, UNIVERSES)
+@settings(max_examples=300)
+def test_boolean_algebra_matches_oracle(p1, p2, uni):
+    r1 = Relation(p1, uni)
+    r2 = Relation(p2, uni)
+    assert (r1 | r2).pairs == p1 | p2
+    assert (r1 & r2).pairs == p1 & p2
+    assert (r1 - r2).pairs == p1 - p2
+
+
+@given(PAIRS, UNIVERSES)
+@settings(max_examples=300)
+def test_complement_matches_oracle(pairs, uni):
+    r = Relation(pairs, uni)
+    full_uni = widen(pairs, uni)
+    expected = frozenset(
+        (a, b)
+        for a in full_uni
+        for b in full_uni
+        if (a, b) not in pairs
+    )
+    assert (~r).pairs == expected
+    assert (~~r).pairs == pairs
+
+
+@given(PAIRS, PAIRS, UNIVERSES)
+@settings(max_examples=300)
+def test_compose_matches_oracle(p1, p2, uni):
+    r1 = Relation(p1, uni)
+    r2 = Relation(p2, uni)
+    assert r1.compose(r2).pairs == oracle_compose(p1, p2)
+
+
+@given(PAIRS, UNIVERSES)
+@settings(max_examples=200)
+def test_closure_matches_oracle(pairs, uni):
+    r = Relation(pairs, uni)
+    closed = oracle_closure(pairs)
+    assert r.transitive_closure().pairs == closed
+    full_uni = widen(pairs, uni)
+    assert r.reflexive_transitive_closure().pairs == closed | {
+        (u, u) for u in full_uni
+    }
+
+
+@given(PAIRS, UNIVERSES)
+@settings(max_examples=300)
+def test_acyclicity_matches_oracle(pairs, uni):
+    r = Relation(pairs, uni)
+    assert r.is_acyclic() == oracle_acyclic(pairs)
+    # The cached second query must agree with the first.
+    assert r.is_acyclic() == oracle_acyclic(pairs)
+
+
+@given(PAIRS, UNIVERSES)
+@settings(max_examples=300)
+def test_inverse_accessors_match_oracle(pairs, uni):
+    r = Relation(pairs, uni)
+    assert r.inverse().pairs == frozenset((b, a) for a, b in pairs)
+    assert r.domain() == frozenset(a for a, _ in pairs)
+    assert r.range() == frozenset(b for _, b in pairs)
+    assert len(r) == len(pairs)
+    assert bool(r) == bool(pairs)
+    for a in widen(pairs, uni):
+        assert r.successors(a) == frozenset(y for x, y in pairs if x == a)
+        assert r.predecessors(a) == frozenset(x for x, y in pairs if y == a)
+
+
+@given(PAIRS, UNIVERSES, st.frozensets(ELEMENTS), st.frozensets(ELEMENTS))
+@settings(max_examples=200)
+def test_restrict_matches_oracle(pairs, uni, sources, targets):
+    r = Relation(pairs, uni)
+    assert r.restrict(sources, targets).pairs == frozenset(
+        (a, b) for a, b in pairs if a in sources and b in targets
+    )
+
+
+@given(PAIRS, UNIVERSES)
+@settings(max_examples=200)
+def test_optional_and_irreflexive_part(pairs, uni):
+    r = Relation(pairs, uni)
+    full_uni = widen(pairs, uni)
+    assert r.optional().pairs == pairs | {(u, u) for u in full_uni}
+    assert r.irreflexive_part().pairs == frozenset(
+        (a, b) for a, b in pairs if a != b
+    )
+    assert r.is_irreflexive() == all(a != b for a, b in pairs)
+    assert r.is_symmetric() == all((b, a) in pairs for a, b in pairs)
+
+
+@given(PAIRS, PAIRS, UNIVERSES, UNIVERSES)
+@settings(max_examples=200)
+def test_mixed_universe_operations(p1, p2, u1, u2):
+    """Operations align relations over different universes correctly."""
+    r1 = Relation(p1, u1)
+    r2 = Relation(p2, u2)
+    assert (r1 | r2).pairs == p1 | p2
+    assert (r1 & r2).pairs == p1 & p2
+    assert (r1 - r2).pairs == p1 - p2
+    assert r1.compose(r2).pairs == oracle_compose(p1, p2)
+    assert (r1 | r2).universe == widen(p1, u1) | widen(p2, u2)
+
+
+@given(PAIRS, UNIVERSES)
+@settings(max_examples=200)
+def test_equality_hash_pickle_roundtrip(pairs, uni):
+    import pickle
+
+    r = Relation(pairs, uni)
+    # Equality ignores the universe; hash must agree with equality.
+    assert r == Relation(pairs, uni | {7})
+    assert hash(r) == hash(Relation(pairs, uni | {7}))
+    clone = pickle.loads(pickle.dumps(r))
+    assert clone == r
+    assert clone.universe == r.universe
+
+
+def test_x86_kernel_agrees_with_axiom_thunks(x86_executions_3):
+    """The fused row-level consistency kernel is verdict-identical to
+    the generic axiom-thunk conjunction (both TM and baseline)."""
+    for model in (get_model("x86tm"), get_model("x86")):
+        for x in x86_executions_3:
+            generic = all(thunk() for _, thunk in model.axiom_thunks(x))
+            assert model.consistent(x) == generic, x.describe()
