@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""Smoke benchmark for the relation engine, recorded to BENCH_relations.json.
+"""Per-architecture smoke benchmark for the relation engine, recorded to
+BENCH_relations.json.
 
-Times the Table 1 x86 pipeline (synthesis + hardware validation) -- the
-workload that exercises the relation-algebra kernel hardest -- and
-appends a timestamped entry to ``BENCH_relations.json`` at the repo
-root, so the performance trajectory stays visible across PRs.
+Times the Table 1 pipeline (synthesis + hardware validation) for each
+architecture with a fused consistency kernel -- x86, Power, and ARMv8 --
+and appends one timestamped entry per architecture to
+``BENCH_relations.json`` at the repo root, so the performance trajectory
+stays visible per-architecture across PRs.  The synthesis phase is the
+workload that exercises the relation-algebra kernels hardest: Power runs
+the herding-cats ``ppo`` fixpoint plus three reflexive-transitive
+closures per candidate, ARMv8 the fused ``ob`` kernel.
 
 Run:  PYTHONPATH=src python benchmarks/bench_relations.py [label]
 
 Environment:
-    REPRO_BENCH_EVENTS   event bound for the synthesis run (default 3)
+    REPRO_BENCH_EVENTS   event bound for the synthesis runs (default 3)
+    REPRO_BENCH_ARCHES   comma-separated subset of x86,power,armv8
+                         (default: all three)
 """
 
 from __future__ import annotations
@@ -28,22 +35,23 @@ from repro.enumeration import synthesise  # noqa: E402
 from repro.harness import CheckPipeline, run_table1  # noqa: E402
 
 RESULTS_FILE = REPO_ROOT / "BENCH_relations.json"
+DEFAULT_ARCHES = ("x86", "power", "armv8")
 
 
-def bench(bound: int) -> dict:
+def bench(arch: str, bound: int) -> dict:
     t0 = time.monotonic()
-    synthesis = synthesise("x86", bound)
+    synthesis = synthesise(arch, bound)
     synth_seconds = time.monotonic() - t0
 
-    pipeline = CheckPipeline()
-    t0 = time.monotonic()
-    table = run_table1("x86", bound, synthesis=synthesis, pipeline=pipeline)
-    validate_seconds = time.monotonic() - t0
+    with CheckPipeline() as pipeline:
+        t0 = time.monotonic()
+        table = run_table1(arch, bound, synthesis=synthesis, pipeline=pipeline)
+        validate_seconds = time.monotonic() - t0
 
     forbid_total = sum(r.forbid_total for r in table.rows)
     allow_total = sum(r.allow_total for r in table.rows)
     return {
-        "bench": "table1_x86",
+        "bench": f"table1_{arch}",
         "event_bound": bound,
         "synthesis_seconds": round(synth_seconds, 3),
         "validation_seconds": round(validate_seconds, 3),
@@ -56,19 +64,27 @@ def bench(bound: int) -> dict:
 
 def main() -> None:
     bound = int(os.environ.get("REPRO_BENCH_EVENTS", "3"))
+    arches = tuple(
+        a.strip()
+        for a in os.environ.get(
+            "REPRO_BENCH_ARCHES", ",".join(DEFAULT_ARCHES)
+        ).split(",")
+        if a.strip()
+    )
     label = sys.argv[1] if len(sys.argv) > 1 else "local"
-    entry = {
-        "recorded": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "label": label,
-        "python": platform.python_version(),
-        **bench(bound),
-    }
     history = []
     if RESULTS_FILE.exists():
         history = json.loads(RESULTS_FILE.read_text())
-    history.append(entry)
+    for arch in arches:
+        entry = {
+            "recorded": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "label": label,
+            "python": platform.python_version(),
+            **bench(arch, bound),
+        }
+        history.append(entry)
+        print(json.dumps(entry, indent=2))
     RESULTS_FILE.write_text(json.dumps(history, indent=2) + "\n")
-    print(json.dumps(entry, indent=2))
     print(f"recorded to {RESULTS_FILE}")
 
 

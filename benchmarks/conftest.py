@@ -22,6 +22,19 @@ from repro.enumeration import synthesise
 EVENT_BOUND = int(os.environ.get("REPRO_BENCH_EVENTS", "3"))
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is benchmark-style: part of tier-1,
+    but excluded from the fast ``-m "not slow"`` CI lane.
+
+    (The hook sees the whole session's items, so restrict to this
+    directory's.)
+    """
+    here = os.path.dirname(__file__)
+    for item in items:
+        if str(item.fspath).startswith(here + os.sep):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def x86_synthesis():
     return synthesise("x86", EVENT_BOUND)

@@ -5,13 +5,31 @@ set of event ids; the evaluator type-checks operator applications
 (``;`` needs relations, ``[·]`` needs a set, ``|``/``&``/``\\`` need two
 values of the same kind).
 
-``let rec`` groups are solved by Kleene iteration from empty relations:
-the defining operators are all monotone, and the universe is finite, so
-the least fixpoint is reached in finitely many rounds -- this is how the
-Power ``ppo`` recursion (ii/ic/ci/cc) executes.
+``let rec`` groups are solved by Kleene iteration from empty values of
+each binding's inferred kind (set or relation): the defining operators
+are all monotone, and the universe is finite, so the least fixpoint is
+reached in finitely many rounds -- this is how the Power ``ppo``
+recursion (ii/ic/ci/cc) executes.
+
+Two execution strategies share these semantics:
+
+* :class:`Evaluator` -- a straightforward AST walker, used for one-off
+  runs and as the readable reference.
+* the **compiled** path used by :class:`CatModel` -- each model's AST is
+  translated once into a tree of Python closures
+  (:func:`_compile_model`, cached per parsed model), and ``let``
+  bindings whose free identifiers are all skeleton-static (``po``,
+  ``sloc``, ``stxn``, fences, ... -- not ``rf``/``co``-derived) are
+  interned in the execution's :class:`~repro.relations.RelationContext`
+  under ``static:``-prefixed keys, so candidate enumeration shares them
+  across one skeleton's rf/co completions through the same cache
+  adoption machinery as the native models.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
 
 from ..events import Execution
 from ..models.base import AxiomThunk, MemoryModel
@@ -51,6 +69,72 @@ def _require_set(value: Value, context: str) -> frozenset:
     return frozenset(value)
 
 
+# ---------------------------------------------------------------------------
+# Kind inference (sets vs relations) for let-rec seeding
+# ---------------------------------------------------------------------------
+
+#: Builtin functions with a known result kind.
+_FUNCTION_KINDS = {
+    "weaklift": "rel",
+    "stronglift": "rel",
+    "cross": "rel",
+    "domain": "set",
+    "range": "set",
+}
+
+
+def _infer_kind(expr: Expr, kinds: dict[str, str]) -> str | None:
+    """``"rel"``, ``"set"``, or ``None`` when undetermined (an identifier
+    of unknown kind, e.g. a not-yet-resolved recursive binding)."""
+    if isinstance(expr, Ident):
+        return kinds.get(expr.name)
+    if isinstance(expr, EmptyRel):
+        return "rel"
+    if isinstance(expr, (Union, Inter, Diff)):
+        return _infer_kind(expr.left, kinds) or _infer_kind(expr.right, kinds)
+    if isinstance(
+        expr,
+        (Seq, TransClosure, ReflTransClosure, Optional, Inverse, Complement, SetToRel),
+    ):
+        return "rel"
+    if isinstance(expr, Call):
+        return _FUNCTION_KINDS.get(expr.function)
+    return None
+
+
+def _rec_seed_kinds(bindings, kinds: dict[str, str]) -> dict[str, str]:
+    """The kind each ``let rec`` binding should be seeded with.
+
+    Kinds propagate through the group until a fixpoint: a binding whose
+    expression mentions only resolved names resolves too.  A binding
+    whose kind stays undetermined (e.g. ``let rec a = b and b = a``)
+    defaults to a relation, matching the historical behaviour.
+    """
+    kinds = dict(kinds)
+    for binding in bindings:
+        kinds.pop(binding.name, None)  # shadowed by the rec group
+    pending = {b.name for b in bindings}
+    changed = True
+    while changed and pending:
+        changed = False
+        for binding in bindings:
+            if binding.name not in pending:
+                continue
+            kind = _infer_kind(binding.value, kinds)
+            if kind is not None:
+                kinds[binding.name] = kind
+                pending.discard(binding.name)
+                changed = True
+    return {b.name: kinds.get(b.name, "rel") for b in bindings}
+
+
+def _kinds_of_env(env: dict[str, Value]) -> dict[str, str]:
+    return {
+        name: "rel" if isinstance(value, Relation) else "set"
+        for name, value in env.items()
+    }
+
+
 class Evaluator:
     """Evaluates expressions over one execution's environment."""
 
@@ -76,10 +160,16 @@ class Evaluator:
             for binding in let.bindings:
                 self.env[binding.name] = self.eval(binding.value)
             return
-        # Kleene iteration for let rec groups.
-        empty = Relation.empty(self.execution.eids)
+        # Kleene iteration for let rec groups, seeded from each
+        # binding's inferred kind (a recursive *set* definition must
+        # start from the empty set, not an empty relation, or the first
+        # iteration dies with a spurious type error).
+        seeds = _rec_seed_kinds(let.bindings, _kinds_of_env(self.env))
+        empty_rel = Relation.empty(self.execution.eids)
         for binding in let.bindings:
-            self.env[binding.name] = empty
+            self.env[binding.name] = (
+                empty_rel if seeds[binding.name] == "rel" else frozenset()
+            )
         while True:
             changed = False
             new_values = {
@@ -162,27 +252,305 @@ class Evaluator:
         return left - right
 
 
+# ---------------------------------------------------------------------------
+# The compiled path: AST → closures, once per parsed model
+# ---------------------------------------------------------------------------
+
+#: A compiled expression: ``fn(env, functions, execution) → Value``.
+CompiledExpr = Callable[[dict, dict, Execution], Value]
+
+
+def _compile_expr(expr: Expr) -> tuple[CompiledExpr, frozenset[str]]:
+    """Translate an expression into a closure plus its free identifiers.
+
+    The closure performs exactly the :meth:`Evaluator.eval` semantics
+    (including the type errors) without re-dispatching on AST node types
+    at every evaluation.
+    """
+    if isinstance(expr, Ident):
+        name = expr.name
+
+        def fn_ident(env, functions, x):
+            try:
+                return env[name]
+            except KeyError:
+                raise CatNameError(f"undefined identifier {name!r}") from None
+
+        return fn_ident, frozenset((name,))
+    if isinstance(expr, EmptyRel):
+        return (lambda env, functions, x: Relation.empty(x.eids)), frozenset()
+    if isinstance(expr, (Union, Inter, Diff)):
+        left, left_ids = _compile_expr(expr.left)
+        right, right_ids = _compile_expr(expr.right)
+        if isinstance(expr, Union):
+            op, name = "|", "union"
+        elif isinstance(expr, Inter):
+            op, name = "&", "intersection"
+        else:
+            op, name = "-", "difference"
+
+        def fn_binary(env, functions, x):
+            lhs = left(env, functions, x)
+            rhs = right(env, functions, x)
+            if isinstance(lhs, Relation) != isinstance(rhs, Relation):
+                raise CatTypeError(f"{name} of a set and a relation")
+            if op == "|":
+                return lhs | rhs
+            if op == "&":
+                return lhs & rhs
+            return lhs - rhs
+
+        return fn_binary, left_ids | right_ids
+    if isinstance(expr, Seq):
+        left, left_ids = _compile_expr(expr.left)
+        right, right_ids = _compile_expr(expr.right)
+
+        def fn_seq(env, functions, x):
+            return _require_relation(left(env, functions, x), ";").compose(
+                _require_relation(right(env, functions, x), ";")
+            )
+
+        return fn_seq, left_ids | right_ids
+    if isinstance(
+        expr, (TransClosure, ReflTransClosure, Optional, Inverse, Complement)
+    ):
+        operand, ids = _compile_expr(expr.operand)
+        symbol = {
+            TransClosure: "+",
+            ReflTransClosure: "*",
+            Optional: "?",
+            Inverse: "^-1",
+            Complement: "~",
+        }[type(expr)]
+        method = {
+            TransClosure: Relation.transitive_closure,
+            ReflTransClosure: Relation.reflexive_transitive_closure,
+            Optional: Relation.optional,
+            Inverse: Relation.inverse,
+            Complement: Relation.__invert__,
+        }[type(expr)]
+
+        def fn_unary(env, functions, x):
+            return method(_require_relation(operand(env, functions, x), symbol))
+
+        return fn_unary, ids
+    if isinstance(expr, SetToRel):
+        operand, ids = _compile_expr(expr.operand)
+
+        def fn_set_to_rel(env, functions, x):
+            elements = _require_set(operand(env, functions, x), "[·]")
+            return Relation.from_set(elements, x.eids)
+
+        return fn_set_to_rel, ids
+    if isinstance(expr, Call):
+        function = expr.function
+        compiled_args = [_compile_expr(a) for a in expr.arguments]
+        arg_fns = [fn for fn, _ in compiled_args]
+        ids = frozenset().union(*(ids for _, ids in compiled_args))
+
+        def fn_call(env, functions, x):
+            if function not in functions:
+                raise CatNameError(f"undefined function {function!r}")
+            return functions[function](
+                *[arg(env, functions, x) for arg in arg_fns]
+            )
+
+        return fn_call, ids
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+#: Identifiers whose values depend only on the execution *skeleton*
+#: (events, threads, dependencies, transaction structure) -- never on
+#: the rf/co completion.  Bindings built purely from these are interned
+#: under ``static:`` context keys and flow across a skeleton's
+#: completions via ``Execution.adopt_skeleton_caches``.
+_STATIC_IDENTS = frozenset(
+    {
+        "EV", "R", "W", "F", "M", "ACQ", "REL", "SC", "ATO", "NA", "WEX", "LKD",
+        "id", "po", "poimm", "poloc", "sloc", "addr", "ctrl", "data", "rmw",
+        "deps", "stxn", "stxnat", "tfence", "mfence", "sync", "lwsync",
+        "isync", "dmb", "dmbld", "dmbst", "isb",
+    }
+)
+
+
+@dataclass
+class _CompiledBinding:
+    name: str
+    fn: CompiledExpr
+    value: Expr  # the source expression, kept for let-rec kind inference
+
+
+@dataclass
+class _CompiledLet:
+    index: int
+    recursive: bool
+    bindings: list[_CompiledBinding]
+    static: bool
+
+
+@dataclass
+class _CompiledCheck:
+    name: str
+    kind: str
+    fn: CompiledExpr
+
+
+#: Compiled programs, keyed by the (hashable, structurally-compared)
+#: parsed model, so every CatModel over the same AST -- including
+#: repeated ``load_cat_model`` calls -- shares one compilation and one
+#: ``static:`` cache namespace.
+_COMPILED_CACHE: dict[Model, tuple[list, str]] = {}
+
+
+def _compile_model(model: Model) -> tuple[list, str]:
+    cached = _COMPILED_CACHE.get(model)
+    if cached is not None:
+        return cached
+    steps: list[_CompiledLet | _CompiledCheck] = []
+    static_names = set(_STATIC_IDENTS)
+    let_index = 0
+    for statement in model.statements:
+        if isinstance(statement, Let):
+            bindings = []
+            free: set[str] = set()
+            for binding in statement.bindings:
+                fn, ids = _compile_expr(binding.value)
+                bindings.append(_CompiledBinding(binding.name, fn, binding.value))
+                free |= ids
+            own = {b.name for b in statement.bindings}
+            is_static = (free - own) <= static_names
+            if is_static:
+                static_names |= own
+            else:
+                # A dynamic let may *shadow* a static name (even a
+                # builtin); later bindings reading it are dynamic too.
+                static_names -= own
+            steps.append(
+                _CompiledLet(let_index, statement.recursive, bindings, is_static)
+            )
+            let_index += 1
+        else:
+            fn, _ = _compile_expr(statement.expr)
+            steps.append(_CompiledCheck(statement.name, statement.kind, fn))
+    namespace = f"cat.{model.name}.{len(_COMPILED_CACHE)}"
+    _COMPILED_CACHE[model] = (steps, namespace)
+    return steps, namespace
+
+
+class _CompiledRun:
+    """One model's lazily-executed statement sequence over one execution."""
+
+    __slots__ = ("execution", "env", "functions", "namespace")
+
+    def __init__(self, namespace: str, execution: Execution):
+        ctx = execution.context
+        self.execution = execution
+        self.env: dict[str, Value] = dict(ctx.cat_environment())
+        self.functions = ctx.cat_functions()
+        self.namespace = namespace
+
+    def let_runner(self, step: _CompiledLet) -> Callable[[], bool]:
+        done = False
+
+        def run() -> bool:
+            nonlocal done
+            if not done:
+                self.execute_let(step)
+                done = True
+            return True
+
+        return run
+
+    def execute_let(self, step: _CompiledLet) -> None:
+        if step.static:
+            # Skeleton-static group: interned per execution and adopted
+            # across a skeleton's rf/co completions.
+            key = f"static:{self.namespace}.let{step.index}"
+            self.env.update(
+                self.execution.context.get(key, lambda: self._eval_let(step))
+            )
+        else:
+            self.env.update(self._eval_let(step))
+
+    def _eval_let(self, step: _CompiledLet) -> dict[str, Value]:
+        env, functions, x = self.env, self.functions, self.execution
+        out: dict[str, Value] = {}
+        if not step.recursive:
+            for binding in step.bindings:
+                value = binding.fn(env, functions, x)
+                env[binding.name] = value
+                out[binding.name] = value
+            return out
+        # Kleene iteration, seeded from each binding's inferred kind.
+        seeds = _rec_seed_kinds(
+            [b for b in step.bindings], _kinds_of_env(env)
+        )
+        empty_rel = Relation.empty(x.eids)
+        for binding in step.bindings:
+            env[binding.name] = (
+                empty_rel if seeds[binding.name] == "rel" else frozenset()
+            )
+        while True:
+            changed = False
+            new_values = {
+                binding.name: binding.fn(env, functions, x)
+                for binding in step.bindings
+            }
+            for name, value in new_values.items():
+                if env[name] != value:
+                    changed = True
+                env[name] = value
+            if not changed:
+                break
+        for binding in step.bindings:
+            out[binding.name] = env[binding.name]
+        return out
+
+    def check(self, step: _CompiledCheck) -> bool:
+        value = _require_relation(
+            self.fn_value(step), step.kind
+        )
+        if step.kind == "acyclic":
+            return value.is_acyclic()
+        if step.kind == "irreflexive":
+            return value.is_irreflexive()
+        if step.kind == "empty":
+            return value.is_empty()
+        raise ValueError(f"unknown check kind {step.kind!r}")
+
+    def fn_value(self, step: _CompiledCheck) -> Value:
+        return step.fn(self.env, self.functions, self.execution)
+
+
 class CatModel(MemoryModel):
     """A parsed cat model exposed through the MemoryModel interface, so
-    cat-defined and native models are interchangeable everywhere."""
+    cat-defined and native models are interchangeable everywhere.
+
+    The AST is compiled to closures once per parsed model (shared across
+    instances over equal ASTs); each ``axiom_thunks`` call creates only
+    a lightweight :class:`_CompiledRun` over the execution's interned
+    environment instead of a fresh AST-walking evaluator.
+    """
 
     def __init__(self, model: Model, transactional: bool = True):
         self.model = model
         self.name = model.name
         self.is_transactional = transactional
+        self._steps, self._namespace = _compile_model(model)
 
     def axiom_thunks(self, execution: Execution) -> list[AxiomThunk]:
-        evaluator = Evaluator(execution)
+        run = _CompiledRun(self._namespace, execution)
         thunks: list[AxiomThunk] = []
-        for statement in self.model.statements:
-            if isinstance(statement, Let):
+        for step in self._steps:
+            if isinstance(step, _CompiledLet):
                 # Bindings execute lazily, in order, the first time an
                 # axiom thunk after them runs.
-                thunks.append(
-                    (f"__let_{id(statement)}", _LetRunner(evaluator, statement))
-                )
+                thunks.append((f"__let_{step.index}", run.let_runner(step)))
             else:
-                thunks.append((statement.name, _CheckRunner(evaluator, statement)))
+                thunks.append(
+                    (step.name, lambda step=step: run.check(step))
+                )
         # Let-runners always "pass"; filter them out of reported names by
         # keeping them but returning True.
         return thunks
@@ -196,23 +564,3 @@ class CatModel(MemoryModel):
         return violated
 
 
-class _LetRunner:
-    def __init__(self, evaluator: Evaluator, let: Let):
-        self.evaluator = evaluator
-        self.let = let
-        self.done = False
-
-    def __call__(self) -> bool:
-        if not self.done:
-            self.evaluator.execute_let(self.let)
-            self.done = True
-        return True
-
-
-class _CheckRunner:
-    def __init__(self, evaluator: Evaluator, check: Check):
-        self.evaluator = evaluator
-        self.check_node = check
-
-    def __call__(self) -> bool:
-        return self.evaluator.check(self.check_node)

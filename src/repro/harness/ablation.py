@@ -58,9 +58,12 @@ def run_ablation(
 
     All model checks go through the batched ``pipeline``: one batch of
     violated-axiom queries, then one batch of dropped-axiom consistency
-    probes for the (test, axiom) pairs that need them.
+    probes for the (test, axiom) pairs that need them.  A privately
+    constructed pipeline is closed (worker pool drained) before return.
     """
-    pipeline = pipeline or CheckPipeline()
+    if pipeline is None:
+        with CheckPipeline() as pipeline:
+            return run_ablation(target, max_events, synthesis, pipeline)
     if synthesis is None:
         synthesis = pipeline.synthesis(target, max_events)
     model_name = f"{target}tm" if target != "sc" else "tsc"

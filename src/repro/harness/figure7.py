@@ -86,7 +86,11 @@ def run_figure7(
     Table 1 / Figure 7 / ablation drivers instead of recomputed.
     """
     if synthesis is None:
-        pipeline = pipeline or CheckPipeline()
+        if pipeline is None:
+            with CheckPipeline() as pipeline:
+                return run_figure7(
+                    arch, max_events, time_budget, synthesis, pipeline
+                )
         synthesis = pipeline.synthesis(arch, max_events, time_budget)
     return Figure7Result(
         arch=arch,

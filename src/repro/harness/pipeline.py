@@ -115,9 +115,14 @@ class CheckPipeline:
     # spawn/teardown would eat the fan-out benefit.
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op when sequential)."""
+        """Shut down the worker pool (no-op when sequential).
+
+        Uses ``Pool.close()`` + ``join()`` -- a graceful drain -- rather
+        than ``terminate()``, which can kill in-flight jobs mid-batch
+        and leave a concurrently-submitted batch partially evaluated.
+        """
         if self._pool is not None:
-            self._pool.terminate()
+            self._pool.close()
             self._pool.join()
             self._pool = None
 

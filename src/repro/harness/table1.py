@@ -101,9 +101,14 @@ def run_table1(
 
     Hardware validation runs through the batched ``pipeline`` (shared
     synthesis cache, optional multiprocessing fan-out); verdicts are
-    identical to the sequential path by construction.
+    identical to the sequential path by construction.  A privately
+    constructed pipeline is closed (worker pool drained) before return.
     """
-    pipeline = pipeline or CheckPipeline()
+    if pipeline is None:
+        with CheckPipeline() as pipeline:
+            return run_table1(
+                arch, max_events, time_budget, synthesis, pipeline
+            )
     if synthesis is None:
         synthesis = pipeline.synthesis(arch, max_events, time_budget)
     result = Table1Result(

@@ -120,9 +120,14 @@ def run_table2(
 
     The rows are independent checks, so they run as one batch through
     the ``pipeline`` (optionally fanned out across processes) and are
-    collected in the table's canonical order.
+    collected in the table's canonical order.  A privately constructed
+    pipeline is closed (worker pool drained) before return.
     """
-    pipeline = pipeline or CheckPipeline()
+    if pipeline is None:
+        with CheckPipeline() as pipeline:
+            return run_table2(
+                monotonicity_bounds, compilation_bound, time_budget, pipeline
+            )
     bounds = monotonicity_bounds or {
         "x86": 4,
         "power": 3,

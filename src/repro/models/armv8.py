@@ -26,12 +26,19 @@ from __future__ import annotations
 
 from ..events import Execution
 from ..relations import Relation
+from ..relations.relation import acyclic_rows_cached, compose_rows
 from .base import AxiomThunk, MemoryModel
 from .common import (
     coherence_ok,
+    coherence_rows_ok,
+    comm_rows,
+    lifted_acyclic_rows_ok,
+    mask_of,
     rmw_isolation_ok,
+    rmw_isolation_rows_ok,
     strong_isolation_ok,
     txn_cancels_rmw_ok,
+    txn_cancels_rmw_rows_ok,
     txn_order_ok,
 )
 
@@ -100,8 +107,7 @@ class ARMv8Model(MemoryModel):
         static = x.context.get(
             "static:armv8.bobstatic", lambda: self._bob_static(x)
         )
-        po_rel = x.po.compose(Relation.from_set(x.rel, x.eids))
-        return static | po_rel.compose(x.coi)
+        return static | self._porel(x).compose(x.coi)
 
     def _bob_static(self, x: Execution) -> Relation:
         """The rf/co-independent part of ``bob``."""
@@ -152,21 +158,120 @@ class ARMv8Model(MemoryModel):
             )
         return thunks
 
-    def consistent(self, x: Execution) -> bool:
-        # Straight-line hot path mirroring axiom_thunks (see X86Model).
-        if not coherence_ok(x):
-            return False
-        if not rmw_isolation_ok(x):
-            return False
-        variant = "tm" if self.is_transactional else "base"
-        ob = x.context.get(f"armv8.ob.{variant}", lambda: self.ob(x))
-        if not ob.is_acyclic():
-            return False
+    # ------------------------------------------------------------------
+    # Fused row-level consistency kernel
+    # ------------------------------------------------------------------
+
+    def _ob_masks(self, x: Execution, uni) -> tuple[int, int]:
+        """Bitmasks of the store-exclusive writes and acquire events,
+        skeleton-static."""
+        return x.context.get(
+            "static:armv8.obmasks",
+            lambda: (mask_of(uni, x.rmw.range()), mask_of(uni, x.acq)),
+        )
+
+    def _porel(self, x: Execution) -> Relation:
+        """``po ; [REL]``, skeleton-static (bob's dynamic part composes
+        it with coi)."""
+        return x.context.get(
+            "static:armv8.porel",
+            lambda: x.po.compose(Relation.from_set(x.rel, x.eids)),
+        )
+
+    def _ob_rows(
+        self, x: Execution, uni, rf_rows, co_rows, fr_rows, same
+    ) -> tuple[int, ...]:
+        """Rows of ordered-before: ``come ∪ dob ∪ aob ∪ bob`` (plus
+        ``tfence`` in the TM extension), evaluated without intermediate
+        :class:`Relation` objects."""
+        rfi = [r & t for r, t in zip(rf_rows, same)]
+        coi = [c & t for c, t in zip(co_rows, same)]
+
+        dob_static = x.context.get(
+            "static:armv8.dobstatic", lambda: self._dob_static(x)
+        )
+        rctrl = x.context.get(
+            "static:armv8.rctrl",
+            lambda: Relation.from_set(x.reads, x.eids).compose(x.ctrl),
+        )
+        data = x.data._rows
+        addr = x.addr._rows
+        dob_coi = compose_rows(
+            [c | d for c, d in zip(rctrl._rows, data)], coi
+        )
+        dob_rfi = compose_rows([a | d for a, d in zip(addr, data)], rfi)
+
+        wex_mask, acq_mask = self._ob_masks(x, uni)
+        bob_static = x.context.get(
+            "static:armv8.bobstatic", lambda: self._bob_static(x)
+        )
+        bob_coi = compose_rows(self._porel(x)._rows, coi)
+
+        rows = []
+        rmw_rows = x.rmw._rows
+        for i, (r, c, f) in enumerate(zip(rf_rows, co_rows, fr_rows)):
+            come = (r | c | f) & ~same[i]
+            row = (
+                come
+                | dob_static._rows[i]
+                | dob_coi[i]
+                | dob_rfi[i]
+                | rmw_rows[i]
+                | bob_static._rows[i]
+                | bob_coi[i]
+            )
+            if wex_mask >> i & 1:
+                # aob's dynamic part: [WEX] ; rfi ; [ACQ].
+                row |= rfi[i] & acq_mask
+            rows.append(row)
         if self.is_transactional:
-            if not strong_isolation_ok(x):
-                return False
-            if not txn_order_ok(x, ob):
-                return False
-            if not txn_cancels_rmw_ok(x):
+            rows = [o | t for o, t in zip(rows, x.tfence._rows)]
+        return tuple(rows)
+
+    def consistent(self, x: Execution) -> bool:
+        """Fused row-level consistency kernel (see ``X86Model``).
+
+        Verdict-identical to the generic ``axiom_thunks`` conjunction
+        (property-tested), which remains the source of truth for
+        diagnostics.
+        """
+        comm = comm_rows(x)
+        if comm is None:
+            # Mixed universes (hand-built executions): generic path.
+            return all(thunk() for _, thunk in self.axiom_thunks(x))
+        uni, rf_rows, co_rows, fr_rows = comm
+
+        if not coherence_rows_ok(x, uni, rf_rows, co_rows, fr_rows):
+            return False
+        same = x.same_thread._rows
+        if not rmw_isolation_rows_ok(x, same, co_rows, fr_rows):
+            return False
+
+        variant = "tm" if self.is_transactional else "base"
+        ob = x.context.get(
+            f"armv8.ob.rows.{variant}",
+            lambda: self._ob_rows(x, uni, rf_rows, co_rows, fr_rows, same),
+        )
+        if not acyclic_rows_cached(uni, ob):
+            return False
+
+        if self.is_transactional:
+            if x.txn_of:
+                com = [
+                    a | b | c for a, b, c in zip(rf_rows, co_rows, fr_rows)
+                ]
+                if not lifted_acyclic_rows_ok(x, uni, com):
+                    return False
+                if not lifted_acyclic_rows_ok(x, uni, ob):
+                    return False
+            else:
+                # stxn? is the identity: StrongIsol degenerates to
+                # acyclic(com); TxnOrder to acyclic(ob), checked above.
+                com = tuple(
+                    a | b | c for a, b, c in zip(rf_rows, co_rows, fr_rows)
+                )
+                if not acyclic_rows_cached(uni, com):
+                    return False
+            if not txn_cancels_rmw_rows_ok(x):
                 return False
         return True

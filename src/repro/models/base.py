@@ -3,10 +3,15 @@
 A memory model is a named set of axioms over executions (§2).  Concrete
 models provide :meth:`MemoryModel.axiom_thunks`, a list of named,
 lazily-evaluated axiom checks; consistency is their conjunction.  Thunks
-share work through a per-call memo table so that, e.g., Power's ``hb``
-is computed once even though three axioms mention it -- and is not
-computed at all if the cheap Coherence axiom already fails (the common
-case inside enumeration loops).
+share work through the execution's
+:class:`~repro.relations.RelationContext` (``x.context``) so that, e.g.,
+Power's ``hb`` is computed once even though three axioms mention it --
+and is not computed at all if the cheap Coherence axiom already fails
+(the common case inside enumeration loops).  Context keys are
+variant-keyed (``power.hb.tm`` vs ``power.hb.base``) wherever the TM and
+baseline models derive different values, and the sharing survives
+repeated ``consistent`` calls and a skeleton's rf/co completions --
+never use a call-local memo for derived relations.
 """
 
 from __future__ import annotations
@@ -53,18 +58,3 @@ class MemoryModel(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MemoryModel {self.name}>"
-
-
-class Memo:
-    """A tiny call-scoped memo table for sharing derived relations
-    between axiom thunks."""
-
-    __slots__ = ("_store",)
-
-    def __init__(self) -> None:
-        self._store: dict[str, object] = {}
-
-    def get(self, key: str, compute: Callable[[], object]) -> object:
-        if key not in self._store:
-            self._store[key] = compute()
-        return self._store[key]

@@ -19,6 +19,11 @@ from __future__ import annotations
 from ..events import Execution
 from ..relations import Relation
 from ..relations.context import global_intern
+from ..relations.relation import (
+    acyclic_rows_cached,
+    compose_rows,
+    transpose_rows,
+)
 
 
 def coherence_ok(x: Execution) -> bool:
@@ -65,6 +70,114 @@ def txn_order_ok(x: Execution, hb: Relation) -> bool:
         return hb.is_acyclic()
     txn_opt = _stxn_optional(x)
     return txn_opt.compose(hb - x.stxn).compose(txn_opt).is_acyclic()
+
+
+# ---------------------------------------------------------------------------
+# Row-level kernel helpers.  The fused ``consistent`` fast paths of the
+# x86/Power/ARMv8 models evaluate axioms directly over adjacency-bitset
+# rows; the communication relations and the axioms shared verbatim
+# between Figs. 5, 6 and 8 are factored out here.
+# ---------------------------------------------------------------------------
+
+
+def comm_rows(x: Execution):
+    """``(uni, rf_rows, co_rows, fr_rows)`` over the execution's shared
+    universe, or ``None`` when the primitive relations live in mixed
+    universes (hand-built executions) and the caller must fall back to
+    the generic ``axiom_thunks`` path.
+
+    ``fr`` is derived directly at row level: every read fr-precedes all
+    same-location writes except its rf source and that source's
+    co-predecessors.
+    """
+    po = x.po
+    uni = po._uni
+    rf = x.rf
+    co = x.co
+    fr_static = x._fr_static
+    if rf._uni is not uni or co._uni is not uni or fr_static._uni is not uni:
+        return None
+
+    rf_rows = rf._rows
+    co_rows = co._rows
+
+    fr_sub = None
+    co_pred = None
+    for w, observers in enumerate(rf_rows):
+        if not observers:
+            continue
+        if co_pred is None:
+            co_pred = transpose_rows(co_rows)
+            fr_sub = [0] * len(rf_rows)
+        sub = (1 << w) | co_pred[w]
+        mask = observers
+        while mask:
+            bit = mask & -mask
+            fr_sub[bit.bit_length() - 1] |= sub
+            mask ^= bit
+    if fr_sub is None:
+        fr_rows = fr_static._rows
+    else:
+        fr_rows = [s & ~u for s, u in zip(fr_static._rows, fr_sub)]
+    return uni, rf_rows, co_rows, fr_rows
+
+
+def mask_of(uni, elements) -> int:
+    """The bitmask selecting ``elements`` inside ``uni``'s indexing."""
+    index = uni.index
+    mask = 0
+    for e in elements:
+        i = index.get(e)
+        if i is not None:
+            mask |= 1 << i
+    return mask
+
+
+def coherence_rows_ok(x: Execution, uni, rf_rows, co_rows, fr_rows) -> bool:
+    """Row-level ``acyclic(poloc ∪ com)``."""
+    rows = tuple(
+        p | a | b | c
+        for p, a, b, c in zip(x.poloc._rows, rf_rows, co_rows, fr_rows)
+    )
+    return acyclic_rows_cached(uni, rows)
+
+
+def rmw_isolation_rows_ok(
+    x: Execution, same_thread_rows, co_rows, fr_rows
+) -> bool:
+    """Row-level ``empty(rmw ∩ (fre ; coe))``."""
+    rmw_rows = x.rmw._rows
+    if not any(rmw_rows):
+        return True
+    fre = [f & ~t for f, t in zip(fr_rows, same_thread_rows)]
+    coe = [c & ~t for c, t in zip(co_rows, same_thread_rows)]
+    fre_coe = compose_rows(fre, coe)
+    return not any(r & m for r, m in zip(rmw_rows, fre_coe))
+
+
+def lifted_acyclic_rows_ok(x: Execution, uni, rel_rows) -> bool:
+    """Row-level ``acyclic(stronglift(rel, stxn))`` for an execution with
+    a non-empty transaction structure (StrongIsol / TxnOrder shapes)."""
+    stxn_rows = x.stxn._rows
+    txn_opt = _stxn_optional(x)._rows
+    minus = [r & ~s for r, s in zip(rel_rows, stxn_rows)]
+    lifted = compose_rows(compose_rows(txn_opt, minus), txn_opt)
+    return acyclic_rows_cached(uni, tuple(lifted))
+
+
+def txn_cancels_rmw_rows_ok(x: Execution) -> bool:
+    """Row-level ``empty(rmw ∩ tfence*)`` (Power/ARMv8 TM)."""
+    rmw_rows = x.rmw._rows
+    if not any(rmw_rows):
+        return True
+    tfence_star = x.context.get(
+        "static:tfence.rtc",
+        lambda: global_intern(
+            ("tfencertc", x._intern_uid, x.threads, x._txn_key),
+            lambda: x.tfence.reflexive_transitive_closure(),
+        ),
+    )
+    return not any(r & t for r, t in zip(rmw_rows, tfence_star._rows))
 
 
 def txn_cancels_rmw_ok(x: Execution) -> bool:

@@ -34,7 +34,8 @@ from __future__ import annotations
 
 from ..events import Execution
 from ..relations import Relation, weaklift
-from .base import AxiomThunk, MemoryModel, Memo
+from ..relations.context import global_intern
+from .base import AxiomThunk, MemoryModel
 from .common import rmw_isolation_ok
 
 
@@ -52,47 +53,93 @@ class CppModel(MemoryModel):
     # Synchronisation (RC11)
     # ------------------------------------------------------------------
 
+    def _rs_static(self, x: Execution) -> Relation:
+        """``[W] ; (poloc ∩ (W×W))? ; [W ∩ Ato]`` -- the rf-free prefix
+        of the release sequence, shared across a skeleton's completions."""
+        def compute() -> Relation:
+            w_id = Relation.from_set(x.writes, x.eids)
+            w_ato = Relation.from_set(x.writes & x.atomics, x.eids)
+            same_loc_ww = (
+                x.poloc & Relation.cross(x.writes, x.writes, x.eids)
+            ).optional()
+            return w_id.compose(same_loc_ww).compose(w_ato)
+
+        return x.context.get(
+            "static:cpp.rsbase",
+            lambda: global_intern(
+                (
+                    "cpprsb",
+                    x._intern_uid,
+                    x.threads,
+                    x._loc_key,
+                    x._kind_key,
+                    tuple(sorted(x.atomics)),
+                ),
+                compute,
+            ),
+        )
+
     def release_sequence(self, x: Execution) -> Relation:
         """``rs = [W] ; (poloc ∩ (W×W))? ; [W ∩ Ato] ; (rf ; rmw)*``."""
-        w_id = Relation.from_set(x.writes, x.eids)
-        w_ato = Relation.from_set(x.writes & x.atomics, x.eids)
-        same_loc_ww = (x.poloc & Relation.cross(x.writes, x.writes, x.eids)).optional()
-        rmw_chain = x.rf.compose(x.rmw).reflexive_transitive_closure()
-        return w_id.compose(same_loc_ww).compose(w_ato).compose(rmw_chain)
+        return x.context.get(
+            "cpp.rs",
+            lambda: self._rs_static(x).compose(
+                x.rf.compose(x.rmw).reflexive_transitive_closure()
+            ),
+        )
 
     def sw(self, x: Execution) -> Relation:
         """Synchronises-with:
         ``sw = [Rel] ; ([F] ; po)? ; rs ; rf ; [R ∩ Ato] ; (po ; [F])? ; [Acq]``.
         """
-        rel_id = Relation.from_set(x.rel, x.eids)
-        acq_id = Relation.from_set(x.acq, x.eids)
-        fence_id = Relation.from_set(x.fences, x.eids)
-        r_ato = Relation.from_set(x.reads & x.atomics, x.eids)
-        pre = fence_id.compose(x.po).optional()
-        post = x.po.compose(fence_id).optional()
-        return (
-            rel_id.compose(pre)
-            .compose(self.release_sequence(x))
-            .compose(x.rf)
-            .compose(r_ato)
-            .compose(post)
-            .compose(acq_id)
-        )
+
+        def compute() -> Relation:
+            rel_id = Relation.from_set(x.rel, x.eids)
+            acq_id = Relation.from_set(x.acq, x.eids)
+            fence_id = Relation.from_set(x.fences, x.eids)
+            r_ato = Relation.from_set(x.reads & x.atomics, x.eids)
+            pre = fence_id.compose(x.po).optional()
+            post = x.po.compose(fence_id).optional()
+            return (
+                rel_id.compose(pre)
+                .compose(self.release_sequence(x))
+                .compose(x.rf)
+                .compose(r_ato)
+                .compose(post)
+                .compose(acq_id)
+            )
+
+        return x.context.get("cpp.sw", compute)
 
     def ecom(self, x: Execution) -> Relation:
         """Extended communication (§7.2): ``com ∪ (co ; rf)``."""
-        return x.com | x.co.compose(x.rf)
+        return x.context.get(
+            "cpp.ecom", lambda: x.com | x.co.compose(x.rf)
+        )
 
     def tsw(self, x: Execution) -> Relation:
         """Transactional synchronises-with (§7.2)."""
-        return weaklift(self.ecom(x), x.stxn)
+        return x.context.get(
+            "cpp.tsw", lambda: weaklift(self.ecom(x), x.stxn)
+        )
 
     def hb(self, x: Execution) -> Relation:
-        """``hb = (sw ∪ tsw ∪ po)+`` (``tsw`` only in the TM model)."""
-        base = self.sw(x) | x.po
-        if self.is_transactional:
-            base = base | self.tsw(x)
-        return base.transitive_closure()
+        """``hb = (sw ∪ tsw ∪ po)+`` (``tsw`` only in the TM model).
+
+        Interned variant-keyed in ``x.context`` (``cpp.hb.tm`` vs
+        ``cpp.hb.base``) like every other model, so the four axioms, the
+        race predicate, repeated ``consistent`` calls, and a skeleton's
+        rf/co completions all share one computation per execution.
+        """
+        variant = "tm" if self.is_transactional else "base"
+
+        def compute() -> Relation:
+            base = self.sw(x) | x.po
+            if self.is_transactional:
+                base = base | self.tsw(x)
+            return base.transitive_closure()
+
+        return x.context.get(f"cpp.hb.{variant}", compute)
 
     # ------------------------------------------------------------------
     # SC axiom (RC11 psc)
@@ -100,30 +147,39 @@ class CppModel(MemoryModel):
 
     def eco(self, x: Execution) -> Relation:
         """``eco = com+ = rf ∪ co ∪ fr ∪ (co;rf) ∪ (fr;rf)``."""
-        return x.com.transitive_closure()
+        return x.context.get("cpp.eco", lambda: x.com.transitive_closure())
 
-    def psc(self, x: Execution, hb: Relation) -> Relation:
-        """The RC11 partial-SC relation."""
-        sc_id = Relation.from_set(x.sc_events, x.eids)
-        sc_fences = x.sc_events & x.fences
-        f_sc = Relation.from_set(sc_fences, x.eids)
-        hb_opt = hb.optional()
+    def psc(self, x: Execution) -> Relation:
+        """The RC11 partial-SC relation, interned variant-keyed (its
+        ``hb`` input differs between the TM and baseline models)."""
+        variant = "tm" if self.is_transactional else "base"
 
-        po_neq_loc = x.po - x.sloc
-        hb_loc = hb & x.sloc
-        scb = (
-            x.po
-            | po_neq_loc.compose(hb).compose(po_neq_loc)
-            | hb_loc
-            | x.co
-            | x.fr
-        )
-        ends_left = sc_id | f_sc.compose(hb_opt)
-        ends_right = sc_id | hb_opt.compose(f_sc)
-        psc_base = ends_left.compose(scb).compose(ends_right)
-        eco = self.eco(x)
-        psc_fence = f_sc.compose(hb | hb.compose(eco).compose(hb)).compose(f_sc)
-        return psc_base | psc_fence
+        def compute() -> Relation:
+            hb_rel = self.hb(x)
+            sc_id = Relation.from_set(x.sc_events, x.eids)
+            sc_fences = x.sc_events & x.fences
+            f_sc = Relation.from_set(sc_fences, x.eids)
+            hb_opt = hb_rel.optional()
+
+            po_neq_loc = x.po - x.sloc
+            hb_loc = hb_rel & x.sloc
+            scb = (
+                x.po
+                | po_neq_loc.compose(hb_rel).compose(po_neq_loc)
+                | hb_loc
+                | x.co
+                | x.fr
+            )
+            ends_left = sc_id | f_sc.compose(hb_opt)
+            ends_right = sc_id | hb_opt.compose(f_sc)
+            psc_base = ends_left.compose(scb).compose(ends_right)
+            eco = self.eco(x)
+            psc_fence = f_sc.compose(
+                hb_rel | hb_rel.compose(eco).compose(hb_rel)
+            ).compose(f_sc)
+            return psc_base | psc_fence
+
+        return x.context.get(f"cpp.psc.{variant}", compute)
 
     # ------------------------------------------------------------------
     # Races (the separate NoRace predicate of Fig. 9)
@@ -131,13 +187,22 @@ class CppModel(MemoryModel):
 
     def conflicts(self, x: Execution) -> Relation:
         """``cnf = ((W×W) ∪ (R×W) ∪ (W×R)) ∩ sloc \\ id``."""
-        w, r = x.writes, x.reads
-        shapes = (
-            Relation.cross(w, w, x.eids)
-            | Relation.cross(r, w, x.eids)
-            | Relation.cross(w, r, x.eids)
+
+        def compute() -> Relation:
+            w, r = x.writes, x.reads
+            shapes = (
+                Relation.cross(w, w, x.eids)
+                | Relation.cross(r, w, x.eids)
+                | Relation.cross(w, r, x.eids)
+            )
+            return (shapes & x.sloc).irreflexive_part()
+
+        return x.context.get(
+            "static:cpp.cnf",
+            lambda: global_intern(
+                ("cppcnf", x._intern_uid, x._loc_key, x._kind_key), compute
+            ),
         )
-        return (shapes & x.sloc).irreflexive_part()
 
     def races(self, x: Execution) -> Relation:
         """Pairs witnessing a data race: conflicting, not both atomic,
@@ -155,18 +220,40 @@ class CppModel(MemoryModel):
     # Axioms
     # ------------------------------------------------------------------
 
-    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
-        memo = Memo()
-        hb = lambda: memo.get("hb", lambda: self.hb(x))
-        com_star = lambda: memo.get(
-            "com_star", lambda: x.com.reflexive_transitive_closure()
+    def _com_star(self, x: Execution) -> Relation:
+        """``com*``, shared by HbCom across thunks and repeated calls
+        (identical for the TM and baseline variants)."""
+        return x.context.get(
+            "cpp.comstar", lambda: x.com.reflexive_transitive_closure()
         )
+
+    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
+        # All derived relations route through x.context (variant-keyed
+        # where the TM/baseline values differ), so they are shared
+        # across thunks, repeated calls, and a skeleton's completions
+        # like in the other three models -- no call-local memo.
         return [
             ("NoThinAir", lambda: (x.po | x.rf).is_acyclic()),
             ("RMWIsol", lambda: rmw_isolation_ok(x)),
-            ("HbCom", lambda: hb().compose(com_star()).is_irreflexive()),
-            ("SeqCst", lambda: self.psc(x, hb()).is_acyclic()),
+            (
+                "HbCom",
+                lambda: self.hb(x).compose(self._com_star(x)).is_irreflexive(),
+            ),
+            ("SeqCst", lambda: self.psc(x).is_acyclic()),
         ]
+
+    def consistent(self, x: Execution) -> bool:
+        """Straight-line hot path mirroring ``axiom_thunks``, cheapest
+        axiom first; every derived relation is interned in ``x.context``
+        so repeated calls and rf/co completions share work."""
+        if not (x.po | x.rf).is_acyclic():
+            return False
+        if not rmw_isolation_ok(x):
+            return False
+        hb = self.hb(x)
+        if not hb.compose(self._com_star(x)).is_irreflexive():
+            return False
+        return self.psc(x).is_acyclic()
 
     # ------------------------------------------------------------------
     # Allowed behaviour: consistency + race-freedom caveat

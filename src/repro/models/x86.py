@@ -24,16 +24,15 @@ from __future__ import annotations
 from ..events import Execution
 from ..relations import Relation
 from ..relations.context import global_intern
-from ..relations.relation import (
-    acyclic_rows_cached,
-    compose_rows,
-    transpose_rows,
-)
+from ..relations.relation import acyclic_rows_cached
 from .base import AxiomThunk, MemoryModel
 from .common import (
-    _stxn_optional,
     coherence_ok,
+    coherence_rows_ok,
+    comm_rows,
+    lifted_acyclic_rows_ok,
     rmw_isolation_ok,
+    rmw_isolation_rows_ok,
     strong_isolation_ok,
     txn_order_ok,
 )
@@ -159,57 +158,21 @@ class X86Model(MemoryModel):
         generic ``axiom_thunks`` conjunction (property-tested), which
         remains the source of truth for diagnostics.
         """
-        po = x.po
-        uni = po._uni
-        rf = x.rf
-        co = x.co
-        fr_static = x._fr_static
-        if rf._uni is not uni or co._uni is not uni or fr_static._uni is not uni:
+        comm = comm_rows(x)
+        if comm is None:
             # Mixed universes (hand-built executions): generic path.
             return all(thunk() for _, thunk in self.axiom_thunks(x))
-
-        rf_rows = rf._rows
-        co_rows = co._rows
-
-        # fr: every read fr-precedes all same-location writes except its
-        # rf source and that source's co-predecessors.
-        fr_sub = None
-        co_pred = None
-        for w, observers in enumerate(rf_rows):
-            if not observers:
-                continue
-            if co_pred is None:
-                co_pred = transpose_rows(co_rows)
-                fr_sub = [0] * len(rf_rows)
-            sub = (1 << w) | co_pred[w]
-            mask = observers
-            while mask:
-                bit = mask & -mask
-                fr_sub[bit.bit_length() - 1] |= sub
-                mask ^= bit
-        if fr_sub is None:
-            fr_rows = fr_static._rows
-        else:
-            fr_rows = [s & ~u for s, u in zip(fr_static._rows, fr_sub)]
+        uni, rf_rows, co_rows, fr_rows = comm
 
         # Coherence: acyclic(poloc ∪ rf ∪ co ∪ fr).
-        coherence = tuple(
-            p | a | b | c
-            for p, a, b, c in zip(x.poloc._rows, rf_rows, co_rows, fr_rows)
-        )
-        if not acyclic_rows_cached(uni, coherence):
+        if not coherence_rows_ok(x, uni, rf_rows, co_rows, fr_rows):
             return False
 
         same_thread = x.same_thread._rows
 
         # RMWIsol: empty(rmw ∩ (fre ; coe)).
-        rmw_rows = x.rmw._rows
-        if any(rmw_rows):
-            fre = [f & ~t for f, t in zip(fr_rows, same_thread)]
-            coe = [c & ~t for c, t in zip(co_rows, same_thread)]
-            fre_coe = compose_rows(fre, coe)
-            if any(r & m for r, m in zip(rmw_rows, fre_coe)):
-                return False
+        if not rmw_isolation_rows_ok(x, same_thread, co_rows, fr_rows):
+            return False
 
         # Order: acyclic(hb), hb = (mfence ∪ ppo ∪ implied) ∪ rfe ∪ fr ∪ co.
         static = self._hb_static(x)
@@ -224,24 +187,12 @@ class X86Model(MemoryModel):
 
         if self.is_transactional:
             if x.txn_of:
-                stxn_rows = x.stxn._rows
-                txn_opt = _stxn_optional(x)._rows
+                com = [a | b | c for a, b, c in zip(rf_rows, co_rows, fr_rows)]
                 # StrongIsol: acyclic(stxn? ; (com \ stxn) ; stxn?).
-                com_minus = [
-                    (a | b | c) & ~s
-                    for a, b, c, s in zip(rf_rows, co_rows, fr_rows, stxn_rows)
-                ]
-                lifted = compose_rows(
-                    compose_rows(txn_opt, com_minus), txn_opt
-                )
-                if not acyclic_rows_cached(uni, tuple(lifted)):
+                if not lifted_acyclic_rows_ok(x, uni, com):
                     return False
                 # TxnOrder: acyclic(stxn? ; (hb \ stxn) ; stxn?).
-                hb_minus = [h & ~s for h, s in zip(hb_rows, stxn_rows)]
-                lifted = compose_rows(
-                    compose_rows(txn_opt, hb_minus), txn_opt
-                )
-                if not acyclic_rows_cached(uni, tuple(lifted)):
+                if not lifted_acyclic_rows_ok(x, uni, hb_rows):
                     return False
             else:
                 # stxn? is the identity: StrongIsol degenerates to

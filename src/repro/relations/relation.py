@@ -182,6 +182,36 @@ def acyclic_rows_cached(uni: _Universe, rows: tuple[int, ...]) -> bool:
     return acyclic_rows(rows)
 
 
+#: Transitive closures interned across relation instances, same scheme as
+#: the acyclicity cache.  Power computes three reflexive-transitive
+#: closures per execution (fc, thb's head, hb*) and C++ closes hb and com
+#: for every candidate; completions of one skeleton repeat the same row
+#: tuples constantly.
+_CLOSURE_CACHE: dict[tuple[int, tuple[int, ...]], tuple[int, ...]] = {}
+_CLOSURE_CACHE_MAX = 1 << 18
+
+
+def closure_rows_cached(uni: _Universe, rows: tuple[int, ...]) -> tuple[int, ...]:
+    """``closure_rows`` with the result interned per (universe, rows)."""
+    if uni.interned:
+        key = (id(uni), rows)
+        closed = _CLOSURE_CACHE.get(key)
+        if closed is None:
+            closed = tuple(closure_rows(rows))
+            if len(_CLOSURE_CACHE) >= _CLOSURE_CACHE_MAX:
+                _CLOSURE_CACHE.clear()
+            _CLOSURE_CACHE[key] = closed
+        return closed
+    return tuple(closure_rows(rows))
+
+
+def rtc_rows_cached(uni: _Universe, rows: tuple[int, ...]) -> tuple[int, ...]:
+    """Reflexive-transitive closure rows, interned per (universe, rows)."""
+    return tuple(
+        row | (1 << i) for i, row in enumerate(closure_rows_cached(uni, rows))
+    )
+
+
 class Relation:
     """An immutable binary relation over a finite universe of ints."""
 
@@ -488,8 +518,9 @@ class Relation:
         )
 
     def _closure_rows(self) -> list[int]:
-        """Transitive closure, Floyd–Warshall over bitmask rows."""
-        return closure_rows(self._rows)
+        """Transitive closure, Floyd–Warshall over bitmask rows (interned
+        globally per (universe, rows) when the universe is interned)."""
+        return list(closure_rows_cached(self._uni, self._rows))
 
     def transitive_closure(self) -> "Relation":
         """Transitive closure ``r⁺`` (Floyd–Warshall on bitmask rows)."""

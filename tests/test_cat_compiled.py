@@ -1,0 +1,165 @@
+"""The compiled cat path: one compilation per parsed model, and
+skeleton-static bindings interned through the ``static:`` context keys.
+
+``tests/test_cat_models_agree.py`` pins the compiled evaluator's
+verdicts against the native models; these tests pin its *caching*
+behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cat import load_cat_model, parse
+from repro.cat.eval import (
+    CatModel,
+    _CompiledLet,
+    _CompiledRun,
+    _compile_model,
+)
+from repro.events import ExecutionBuilder
+from repro.relations import Relation
+
+
+def _execution():
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    w = t0.write("x")
+    r = t1.read("x")
+    b.rf(w, r)
+    return b.build()
+
+
+def test_compilation_shared_across_instances():
+    """Loading the same bundled model twice reuses one compiled program
+    (and therefore one static-cache namespace)."""
+    first = load_cat_model("powertm")
+    second = load_cat_model("powertm")
+    assert first._steps is second._steps
+    assert first._namespace == second._namespace
+
+
+def test_distinct_models_get_distinct_namespaces():
+    a = CatModel(parse('"m" let s = po acyclic s as A'))
+    b = CatModel(parse('"m" let s = po | poloc acyclic s as A'))
+    assert a._namespace != b._namespace
+
+
+def test_static_classification():
+    """Bindings over skeleton-static identifiers are classified static;
+    anything touching rf/co-derived relations is not.  Staticness flows
+    through earlier static bindings."""
+    model = parse(
+        '"m" '
+        "let fences = sync | lwsync "
+        "let ord = fences | po "
+        "let obs = rf | co "
+        "let mixed = ord | obs "
+        "acyclic mixed as A"
+    )
+    steps, _ = _compile_model(model)
+    lets = [s for s in steps if isinstance(s, _CompiledLet)]
+    flags = {let.bindings[0].name: let.static for let in lets}
+    assert flags == {
+        "fences": True,
+        "ord": True,
+        "obs": False,
+        "mixed": False,
+    }
+
+
+def test_dynamic_shadowing_revokes_staticness():
+    """A dynamic let shadowing a static name (here the builtin sloc)
+    makes later readers of that name dynamic: their values depend on
+    rf/co and must not be interned under a static: key."""
+    model = parse(
+        '"m" let sloc = rf | co let q = sloc acyclic q as A'
+    )
+    steps, _ = _compile_model(model)
+    lets = [s for s in steps if isinstance(s, _CompiledLet)]
+    flags = {let.bindings[0].name: let.static for let in lets}
+    assert flags == {"sloc": False, "q": False}
+
+
+def test_static_bindings_interned_per_execution():
+    """A static let's values land in the execution's RelationContext
+    under a ``static:`` key (the prefix the skeleton cache-adoption
+    machinery shares across rf/co completions), and a second run -- even
+    from a distinct CatModel instance over the same AST -- reuses them
+    without re-evaluating."""
+    source = '"m" let ord = po | poloc let com2 = rf | co acyclic ord | com2 as A'
+    x = _execution()
+    cat = CatModel(parse(source))
+    assert cat.consistent(x)
+    static_keys = [
+        k for k in x.context._cache if k.startswith(f"static:{cat._namespace}")
+    ]
+    assert len(static_keys) == 1
+    cached = x.context._cache[static_keys[0]]
+    assert set(cached) == {"ord"}
+    assert isinstance(cached["ord"], Relation)
+
+    # Second run over the same execution: the static let must not be
+    # re-evaluated.
+    calls = {"n": 0}
+    original = _CompiledRun._eval_let
+
+    def counting(self, step):
+        calls["n"] += 1
+        return original(self, step)
+
+    _CompiledRun._eval_let = counting
+    try:
+        again = CatModel(parse(source))
+        assert again.consistent(x)
+    finally:
+        _CompiledRun._eval_let = original
+    # Only the dynamic let (com2) was re-evaluated.
+    assert calls["n"] == 1
+
+
+def test_static_bindings_adopted_across_completions():
+    """Completions of one skeleton share the static cat bindings through
+    ``Execution.adopt_skeleton_caches`` -- same mechanism as the native
+    models' ``static:`` relations."""
+    cat = CatModel(parse('"m" let ord = po | poloc acyclic ord | rf as A'))
+    template = _execution()
+    assert cat.consistent(template)
+    key = f"static:{cat._namespace}.let0"
+    assert key in template.context._cache
+
+    sibling = _execution().adopt_skeleton_caches(template)
+    assert key in sibling.context._cache
+    assert (
+        sibling.context._cache[key] is template.context._cache[key]
+    )
+
+
+def test_compiled_letrec_seeds_set_kind():
+    """The compiled let-rec path seeds set-valued bindings from the
+    empty set (same fix as the AST-walking evaluator)."""
+    cat = CatModel(
+        parse(
+            '"m" let rec obs = W | range([obs] ; rf) '
+            "empty [obs] & (rf | rf^-1) as NoSelf"
+        )
+    )
+    x = _execution()
+    assert cat.consistent(x)
+
+
+def test_compiled_error_messages_match_evaluator():
+    """The compiled closures raise the same cat errors as the walker."""
+    from repro.cat import CatNameError, CatTypeError
+
+    x = _execution()
+    with pytest.raises(CatNameError, match="nonsense"):
+        CatModel(parse('"m" acyclic nonsense as A')).consistent(x)
+    with pytest.raises(CatNameError, match="frob"):
+        CatModel(parse('"m" acyclic frob(po) as A')).consistent(x)
+    with pytest.raises(CatTypeError):
+        CatModel(parse('"m" acyclic W ; R as A')).consistent(x)
+    with pytest.raises(CatTypeError):
+        CatModel(parse('"m" acyclic W | po as A')).consistent(x)
+    with pytest.raises(CatTypeError):
+        CatModel(parse('"m" acyclic [po] as A')).consistent(x)

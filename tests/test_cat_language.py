@@ -162,6 +162,41 @@ class TestEvaluator:
         )
         assert results == {"Irr": True}
 
+    def test_let_rec_set_valued_binding(self):
+        """A legal recursive *set* definition must be seeded from the
+        empty set, not an empty relation (regression: it used to die
+        with a spurious CatTypeError).  ``obs`` is the set of events
+        reachable from the writes through rf: here {w, r}."""
+        x, (w, r) = self._execution()
+        results = Evaluator(x).run(
+            parse(
+                '"m" let rec obs = W | range([obs] ; rf) '
+                "empty [obs] & ~(rf | rf^-1 | [EV]) as ObsCovered"
+            )
+        )
+        assert results == {"ObsCovered": True}
+
+    def test_let_rec_set_fixpoint_value(self):
+        """The recursive set reaches the expected fixpoint."""
+        x, (w, r) = self._execution()
+        evaluator = Evaluator(x)
+        evaluator.run(parse('"m" let rec obs = W | range([obs] ; rf)'))
+        assert evaluator.env["obs"] == {w, r}
+
+    def test_let_rec_mixed_kind_group(self):
+        """A rec group mixing a set binding and a relation binding seeds
+        each from its own kind."""
+        x, (w, r) = self._execution()
+        evaluator = Evaluator(x)
+        evaluator.run(
+            parse(
+                '"m" let rec obs = W | range([obs] ; step) '
+                "and step = rf | ([obs] ; po)"
+            )
+        )
+        assert evaluator.env["obs"] == {w, r}
+        assert not isinstance(evaluator.env["obs"], type(evaluator.env["step"]))
+
     def test_set_operations(self):
         results = self._eval('"m" empty [R & W] as Disjoint')
         assert results == {"Disjoint": True}

@@ -71,6 +71,7 @@ def test_cat_agrees_on_catalog(cat_name, native_name, execution_name):
     )
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("cat_name,target", [
     ("x86tm", "x86"),
     ("armv8tm", "armv8"),

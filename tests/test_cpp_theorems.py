@@ -12,6 +12,79 @@ from repro.models import CppModel, get_model
 from repro.models.isolation import strongly_isolated_atomic
 
 
+class TestDerivedRelationSharing:
+    """Regression for the CppModel caching bug: derived relations used
+    to be memoised in a throwaway call-local Memo, so hb/psc were
+    recomputed on every consistent() call.  They must now route through
+    the execution's RelationContext with variant-keyed names, shared
+    across thunks, repeated calls, and skeleton completions like the
+    other three models."""
+
+    def _execution(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w = t0.write("x", tags={SC})
+        r = t1.read("x", tags={SC})
+        b.rf(w, r)
+        return b.build()
+
+    def test_hb_computed_once_per_execution(self, monkeypatch):
+        """sw (hb's expensive input) is derived exactly once per
+        execution, no matter how many times consistency is queried."""
+        calls = {"sw": 0}
+        original = CppModel.sw
+
+        def counting_sw(self, x):
+            calls["sw"] += 1
+            return original(self, x)
+
+        monkeypatch.setattr(CppModel, "sw", counting_sw)
+        model = CppModel(transactional=True)
+        x = self._execution()
+        model.consistent(x)
+        model.consistent(x)
+        assert all(t() for _, t in model.axiom_thunks(x))
+        model.race_free(x)
+        # hb's compute closure ran once (on the first consistent call),
+        # so sw was requested exactly once despite four hb consumers.
+        assert calls["sw"] == 1
+        assert "cpp.sw" in x.context._cache
+        assert "cpp.hb.tm" in x.context._cache
+
+    def test_hb_compute_runs_once(self):
+        """Count actual hb closure computations via the context keys."""
+        model = CppModel(transactional=True)
+        x = self._execution()
+        first = model.hb(x)
+        assert model.hb(x) is first  # interned, not recomputed
+        assert all(t() for _, t in model.axiom_thunks(x))
+        assert model.hb(x) is first
+        # The baseline variant is interned under its own key.
+        baseline = CppModel(transactional=False)
+        assert baseline.hb(x) is baseline.hb(x)
+        assert "cpp.hb.base" in x.context._cache
+
+    def test_variant_keys_do_not_alias(self):
+        """TM and baseline hb differ on transactional executions and
+        must not share a cache slot."""
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        with t0.transaction():
+            w1 = t0.write("x", tags={NA})
+            t0.read("y", tags={NA})
+        with t1.transaction():
+            t1.write("y", tags={NA})
+            r1 = t1.read("x", tags={NA})
+        b.rf(w1, r1)
+        x = b.build()
+        tm = CppModel(transactional=True)
+        base = CppModel(transactional=False)
+        hb_tm = tm.hb(x)
+        hb_base = base.hb(x)
+        assert hb_tm is not hb_base
+        assert hb_base.pairs <= hb_tm.pairs
+
+
 def test_theorem_7_2_strong_isolation_for_atomic_transactions(cpp_executions_3):
     """If NoRace holds and atomic transactions contain no atomic
     operations, then acyclic(stronglift(com, stxnat)).

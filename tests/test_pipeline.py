@@ -98,18 +98,70 @@ def test_run_job_kinds(x86_synthesis):
         run_job(("unknown",))
 
 
-def test_pipeline_multiprocess_fanout_matches_sequential(x86_synthesis):
-    """With workers > 1 the fan-out path returns identical verdicts in
-    identical order (fork start method; skipped where unavailable)."""
+def _fork_or_skip():
     import multiprocessing
 
     if "fork" not in multiprocessing.get_all_start_methods():
         pytest.skip("fork start method unavailable")
+
+
+def test_pipeline_multiprocess_fanout_matches_sequential(x86_synthesis):
+    """With workers > 1 the fan-out path returns identical verdicts in
+    identical order (fork start method; skipped where unavailable)."""
+    _fork_or_skip()
     tests = [
         execution_to_litmus(x, f"t{i}")
         for i, x in enumerate(x86_synthesis.forbidden)
     ]
     jobs = [(t.program, t.intended_co) for t in tests]
-    sequential = CheckPipeline(workers=1).observable_batch("x86", jobs)
-    fanned = CheckPipeline(workers=2).observable_batch("x86", jobs)
+    with CheckPipeline(workers=1) as sequential_pipe:
+        sequential = sequential_pipe.observable_batch("x86", jobs)
+    with CheckPipeline(workers=2) as fanned_pipe:
+        fanned = fanned_pipe.observable_batch("x86", jobs)
     assert fanned == sequential
+
+
+def test_consistency_batch_fanout_matches_sequential(x86_synthesis):
+    """The workers=2 fan-out path returns consistency verdicts pinned
+    against the sequential path, over every model, in order."""
+    _fork_or_skip()
+    executions = (x86_synthesis.forbidden + x86_synthesis.allowed)[:24]
+    for model_name in ("x86tm", "x86", "powertm", "armv8tm", "cpptm"):
+        sequential = CheckPipeline(workers=1).consistency_batch(
+            model_name, executions
+        )
+        with CheckPipeline(workers=2) as fanned:
+            assert fanned.consistency_batch(model_name, executions) == sequential
+
+
+def test_table1_fanout_matches_sequential(x86_synthesis):
+    """End-to-end: the Table 1 driver produces identical rows whether
+    its pipeline is sequential or a two-worker pool."""
+    _fork_or_skip()
+    sequential = run_table1("x86", 3, synthesis=x86_synthesis)
+    with CheckPipeline(workers=2) as pipe:
+        fanned = run_table1("x86", 3, synthesis=x86_synthesis, pipeline=pipe)
+    assert _row_tuples(sequential) == _row_tuples(fanned)
+
+
+def test_close_drains_and_is_idempotent():
+    """close() drains the pool gracefully (close+join, not terminate)
+    and may be called repeatedly; the context manager routes through
+    it."""
+    _fork_or_skip()
+    pipe = CheckPipeline(workers=2)
+    jobs = [("unused", i) for i in range(8)]
+    assert pipe.map(_double_second, jobs) == [i * 2 for i in range(8)]
+    assert pipe._pool is not None
+    pipe.close()
+    assert pipe._pool is None
+    pipe.close()  # idempotent
+
+    with CheckPipeline(workers=2) as ctx_pipe:
+        ctx_pipe.map(_double_second, jobs)
+        assert ctx_pipe._pool is not None
+    assert ctx_pipe._pool is None
+
+
+def _double_second(job):
+    return job[1] * 2

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import itertools
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -176,3 +177,87 @@ def test_x86_kernel_agrees_with_axiom_thunks(x86_executions_3):
         for x in x86_executions_3:
             generic = all(thunk() for _, thunk in model.axiom_thunks(x))
             assert model.consistent(x) == generic, x.describe()
+
+
+def test_power_kernel_agrees_with_axiom_thunks(power_executions_3):
+    """Power's fused kernel (row-level ppo fixpoint, thb, hb, prop) is
+    verdict-identical to the generic axiom-thunk conjunction."""
+    for model in (get_model("powertm"), get_model("power")):
+        for x in power_executions_3:
+            generic = all(thunk() for _, thunk in model.axiom_thunks(x))
+            assert model.consistent(x) == generic, x.describe()
+
+
+@pytest.mark.slow
+def test_armv8_kernel_agrees_with_axiom_thunks(armv8_executions_3):
+    """ARMv8's fused ob kernel is verdict-identical to the generic
+    axiom-thunk conjunction (full bound-3 sweep: ~190k executions)."""
+    for model in (get_model("armv8tm"), get_model("armv8")):
+        for x in armv8_executions_3:
+            generic = all(thunk() for _, thunk in model.axiom_thunks(x))
+            assert model.consistent(x) == generic, x.describe()
+
+
+def test_armv8_kernel_agrees_on_sample(armv8_executions_3):
+    """Fast-lane subset of the ARMv8 sweep above."""
+    for model in (get_model("armv8tm"), get_model("armv8")):
+        for x in armv8_executions_3[::17]:
+            generic = all(thunk() for _, thunk in model.axiom_thunks(x))
+            assert model.consistent(x) == generic, x.describe()
+
+
+@pytest.mark.slow
+def test_cpp_consistent_agrees_with_axiom_thunks(cpp_executions_3):
+    """C++'s straight-line consistent() (context-interned hb/eco/psc/sw)
+    is verdict-identical to the generic axiom-thunk conjunction."""
+    for model in (get_model("cpptm"), get_model("cpp")):
+        for x in cpp_executions_3:
+            generic = all(thunk() for _, thunk in model.axiom_thunks(x))
+            assert model.consistent(x) == generic, x.describe()
+
+
+def test_cpp_consistent_agrees_on_sample(cpp_executions_3):
+    """Fast-lane subset of the C++ sweep above."""
+    for model in (get_model("cpptm"), get_model("cpp")):
+        for x in cpp_executions_3[::17]:
+            generic = all(thunk() for _, thunk in model.axiom_thunks(x))
+            assert model.consistent(x) == generic, x.describe()
+
+
+def test_kernels_agree_on_hand_built_catalog():
+    """The fused kernels agree with the generic path on the hand-built
+    paper catalog too (these executions exercise the mixed-universe
+    fallback and the txn-free degenerate branches)."""
+    from repro.catalog import classics, figures
+
+    catalog = [
+        classics.corr, classics.sb, classics.sb_txn, classics.mp,
+        classics.mp_txn, classics.lb, classics.iriw, classics.wrc_txn,
+        figures.fig1, figures.fig2, figures.fig10_concrete,
+        figures.power_integrated_barrier, figures.power_txn_ordering,
+    ]
+    models = [
+        get_model(name)
+        for name in ("x86tm", "x86", "powertm", "power",
+                     "armv8tm", "armv8", "cpptm", "cpp")
+    ]
+    for build in catalog:
+        x = build()
+        for model in models:
+            generic = all(thunk() for _, thunk in model.axiom_thunks(x))
+            assert model.consistent(x) == generic, (
+                model.name,
+                x.describe(),
+            )
+
+
+@given(PAIRS, UNIVERSES)
+@settings(max_examples=200)
+def test_closure_cache_matches_oracle(pairs, uni):
+    """The globally interned transitive closure (closure_rows_cached)
+    agrees with the oracle, including on repeated queries."""
+    r = Relation(pairs, uni)
+    closed = oracle_closure(pairs)
+    assert r.transitive_closure().pairs == closed
+    assert r.transitive_closure().pairs == closed  # cached second query
+    assert Relation(pairs, uni).transitive_closure().pairs == closed
