@@ -33,6 +33,7 @@ from typing import Callable
 
 from ..events import Execution
 from ..models.base import AxiomThunk, MemoryModel
+from ..obs import REGISTRY
 from ..relations import Relation
 from .ast import (
     Call,
@@ -402,11 +403,18 @@ class _CompiledCheck:
 #: ``static:`` cache namespace.
 _COMPILED_CACHE: dict[Model, tuple[list, str]] = {}
 
+_COMPILE_LOOKUPS = REGISTRY.counter("cat.compile_cache.lookups")
+_COMPILE_HITS = REGISTRY.counter("cat.compile_cache.hits")
+_COMPILE_MISSES = REGISTRY.counter("cat.compile_cache.misses")
+
 
 def _compile_model(model: Model) -> tuple[list, str]:
+    _COMPILE_LOOKUPS.inc()
     cached = _COMPILED_CACHE.get(model)
     if cached is not None:
+        _COMPILE_HITS.inc()
         return cached
+    _COMPILE_MISSES.inc()
     steps: list[_CompiledLet | _CompiledCheck] = []
     static_names = set(_STATIC_IDENTS)
     let_index = 0
@@ -438,6 +446,11 @@ def _compile_model(model: Model) -> tuple[list, str]:
     return steps, namespace
 
 
+_LET_STATIC_REQUESTS = REGISTRY.counter("cat.let.static_requests")
+_LET_STATIC_EVALS = REGISTRY.counter("cat.let.static_evals")
+_LET_DYNAMIC_EVALS = REGISTRY.counter("cat.let.dynamic_evals")
+
+
 class _CompiledRun:
     """One model's lazily-executed statement sequence over one execution."""
 
@@ -465,12 +478,18 @@ class _CompiledRun:
     def execute_let(self, step: _CompiledLet) -> None:
         if step.static:
             # Skeleton-static group: interned per execution and adopted
-            # across a skeleton's rf/co completions.
+            # across a skeleton's rf/co completions.  The requests/evals
+            # gap is how many evaluations the static: interning saved.
+            _LET_STATIC_REQUESTS.inc()
             key = f"static:{self.namespace}.let{step.index}"
             self.env.update(
-                self.execution.context.get(key, lambda: self._eval_let(step))
+                self.execution.context.get(
+                    key,
+                    lambda: (_LET_STATIC_EVALS.inc(), self._eval_let(step))[1],
+                )
             )
         else:
+            _LET_DYNAMIC_EVALS.inc()
             self.env.update(self._eval_let(step))
 
     def _eval_let(self, step: _CompiledLet) -> dict[str, Value]:

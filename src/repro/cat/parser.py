@@ -48,11 +48,19 @@ from .lexer import Token, tokenize
 
 _CHECK_KINDS = {"ACYCLIC": "acyclic", "IRREFLEXIVE": "irreflexive", "EMPTY": "empty"}
 
+#: Maximum expression nesting depth.  Each paren/bracket level costs
+#: several Python stack frames, so unbounded input (a fuzzer's
+#: ``"("*10_000``) would hit the interpreter's RecursionError instead of
+#: a :class:`CatSyntaxError`.  No real model comes within an order of
+#: magnitude of this bound.
+_MAX_DEPTH = 100
+
 
 class Parser:
     def __init__(self, tokens: list[Token]):
         self.tokens = tokens
         self.position = 0
+        self.depth = 0
 
     # -- token plumbing ----------------------------------------------------
 
@@ -118,7 +126,17 @@ class Parser:
         return LetBinding(name=name, value=self.parse_expr())
 
     def parse_expr(self) -> Expr:
-        return self.parse_union()
+        self.depth += 1
+        if self.depth > _MAX_DEPTH:
+            raise CatSyntaxError(
+                f"expression nesting exceeds {_MAX_DEPTH} levels",
+                self.current.line,
+                self.current.column,
+            )
+        try:
+            return self.parse_union()
+        finally:
+            self.depth -= 1
 
     def parse_union(self) -> Expr:
         left = self.parse_diff()
@@ -145,9 +163,16 @@ class Parser:
         return left
 
     def parse_unary(self) -> Expr:
-        if self.accept("TILDE"):
-            return Complement(self.parse_unary())
-        return self.parse_postfix()
+        # Collect the tilde prefix iteratively: a chain of complements
+        # (`~~~x`) would otherwise recurse outside parse_expr's depth
+        # accounting and could blow the interpreter stack.
+        tildes = 0
+        while self.accept("TILDE"):
+            tildes += 1
+        expr = self.parse_postfix()
+        for _ in range(tildes):
+            expr = Complement(expr)
+        return expr
 
     def parse_postfix(self) -> Expr:
         expr = self.parse_atom()

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from ..events import Execution
 from ..models import get_model
 from ..models.base import MemoryModel
+from ..obs import REGISTRY, TRACER
 from .canonical import canonical_key
 from .complete import complete_skeleton
 from .config import EnumerationConfig, get_config
@@ -94,41 +95,91 @@ def synthesise(
     start = time.monotonic()
     seen_forbidden: set[tuple] = set()
 
-    for n_events in range(2, max_events + 1):
+    with TRACER.span(f"synthesis:{target}"):
+        for n_events in range(2, max_events + 1):
+            _synthesise_bound(
+                result,
+                target,
+                n_events,
+                model,
+                baseline,
+                config,
+                seen_forbidden,
+                start,
+                time_budget,
+            )
+            if not result.complete:
+                break
+
+        # Allow = one-step weakenings of the Forbid tests, deduplicated.
+        with TRACER.span(f"synthesis:{target}:weakenings"):
+            seen_allowed: set[tuple] = set()
+            for x in result.forbidden:
+                for child in weakenings(x, config):
+                    if len(child) == 0:
+                        continue
+                    key = canonical_key(child)
+                    if key in seen_allowed or key in seen_forbidden:
+                        continue
+                    seen_allowed.add(key)
+                    result.allowed.append(child)
+
+    result.elapsed = time.monotonic() - start
+    return result
+
+
+def _synthesise_bound(
+    result: SynthesisResult,
+    target: str,
+    n_events: int,
+    model: MemoryModel,
+    baseline: MemoryModel,
+    config: EnumerationConfig,
+    seen_forbidden: set[tuple],
+    start: float,
+    time_budget: float | None,
+) -> None:
+    """One event bound's enumeration pass, with per-bound metrics.
+
+    Candidates are attributed to exactly one outcome -- consistent,
+    baseline-inconsistent, non-minimal, duplicate, or forbidden -- so
+    the per-bound prune counters sum back to the candidate counter.
+    """
+    prefix = f"enumeration.{target}.bound{n_events}"
+    c_skeletons = REGISTRY.counter(f"{prefix}.skeletons")
+    c_candidates = REGISTRY.counter(f"{prefix}.candidates")
+    c_consistent = REGISTRY.counter(f"{prefix}.pruned_consistent")
+    c_baseline = REGISTRY.counter(f"{prefix}.pruned_baseline")
+    c_nonminimal = REGISTRY.counter(f"{prefix}.pruned_nonminimal")
+    c_duplicate = REGISTRY.counter(f"{prefix}.pruned_duplicate")
+    c_forbidden = REGISTRY.counter(f"{prefix}.forbidden")
+    with TRACER.span(f"synthesis:{target}:bound{n_events}"), REGISTRY.timed(
+        f"{prefix}.seconds"
+    ):
         for skeleton in enumerate_skeletons(config, n_events):
             if time_budget is not None and time.monotonic() - start > time_budget:
                 result.complete = False
-                break
+                return
+            c_skeletons.inc()
             for x in complete_skeleton(skeleton):
                 result.candidates_examined += 1
+                c_candidates.inc()
                 if model.consistent(x):
+                    c_consistent.inc()
                     continue
                 if not baseline.consistent(x):
+                    c_baseline.inc()
                     continue  # not a transactional relaxation
                 if not is_minimal_inconsistent(
                     x, model, config, known_inconsistent=True
                 ):
+                    c_nonminimal.inc()
                     continue
                 key = canonical_key(x)
                 if key in seen_forbidden:
+                    c_duplicate.inc()
                     continue
                 seen_forbidden.add(key)
+                c_forbidden.inc()
                 result.forbidden.append(x)
                 result.discovery_times.append(time.monotonic() - start)
-        if not result.complete:
-            break
-
-    # Allow = one-step weakenings of the Forbid tests, deduplicated.
-    seen_allowed: set[tuple] = set()
-    for x in result.forbidden:
-        for child in weakenings(x, config):
-            if len(child) == 0:
-                continue
-            key = canonical_key(child)
-            if key in seen_allowed or key in seen_forbidden:
-                continue
-            seen_allowed.add(key)
-            result.allowed.append(child)
-
-    result.elapsed = time.monotonic() - start
-    return result

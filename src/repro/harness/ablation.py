@@ -14,8 +14,10 @@ axiom (and nothing else) makes the test consistent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..enumeration import SynthesisResult
+from ..obs import TRACER
 from .pipeline import CheckPipeline
 
 
@@ -53,6 +55,8 @@ def run_ablation(
     max_events: int = 3,
     synthesis: SynthesisResult | None = None,
     pipeline: CheckPipeline | None = None,
+    workers: int | None = None,
+    checkpoint: str | Path | None = None,
 ) -> AblationResult:
     """Attribute each synthesised Forbid test to the axioms catching it.
 
@@ -62,8 +66,18 @@ def run_ablation(
     constructed pipeline is closed (worker pool drained) before return.
     """
     if pipeline is None:
-        with CheckPipeline() as pipeline:
+        with CheckPipeline(workers=workers, checkpoint=checkpoint) as pipeline:
             return run_ablation(target, max_events, synthesis, pipeline)
+    with TRACER.span(f"ablation:{target}"):
+        return _run_ablation(target, max_events, synthesis, pipeline)
+
+
+def _run_ablation(
+    target: str,
+    max_events: int,
+    synthesis: SynthesisResult | None,
+    pipeline: CheckPipeline,
+) -> AblationResult:
     if synthesis is None:
         synthesis = pipeline.synthesis(target, max_events)
     model_name = f"{target}tm" if target != "sc" else "tsc"

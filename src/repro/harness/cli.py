@@ -3,16 +3,99 @@
 Usage::
 
     repro-harness table1 --arch x86 --events 4
+    repro-harness table1 --arch power --events 4 --workers 4 \\
+        --checkpoint results/table1-power.jsonl --stats
     repro-harness table2
     repro-harness figure7 --arch x86 --events 4
     repro-harness rtl-bug
     repro-harness figures
+    repro-harness stats results/metrics-table1.json
+
+The long-running drivers (``table1``, ``table2``, ``figure7``,
+``ablation``) take ``--workers`` (multiprocessing fan-out),
+``--checkpoint`` (JSONL file; a killed run restarted with the same path
+resumes instead of recomputing), and ``--stats [PATH]`` (dump the merged
+observability metrics as JSON, by default next to ``results/``).  The
+``stats`` subcommand pretty-prints such a dump.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+
+def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_PIPELINE_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="JSONL checkpoint file; rerun with the same file to resume",
+    )
+    parser.add_argument(
+        "--stats",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write merged metrics JSON after the run "
+            "(default FILE: results/metrics-<command>.json)"
+        ),
+    )
+
+
+def _write_stats(args: argparse.Namespace) -> None:
+    if getattr(args, "stats", None) is None:
+        return
+    from ..obs import write_stats
+
+    path = args.stats or f"results/metrics-{args.command}.json"
+    write_stats(path)
+    print(f"metrics written to {path}", file=sys.stderr)
+
+
+def _render_stats_dump(dump: dict) -> str:
+    """A human-oriented digest of a ``--stats`` JSON dump."""
+    lines = ["cache hit rates:"]
+    hit_rates = dump.get("hit_rates", {})
+    if any(rate is not None for rate in hit_rates.values()):
+        for name in sorted(hit_rates):
+            rate = hit_rates[name]
+            if rate is not None:
+                lines.append(f"  {name:<28} {100 * rate:6.2f}%")
+    else:
+        lines.append("  (none recorded)")
+    timers = dump.get("timers", {})
+    if timers:
+        lines.append("timings:")
+        for name in sorted(timers):
+            t = timers[name]
+            count = t.get("count", 0)
+            total = t.get("total", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name:<36} n={count:<8} total={total:9.3f}s "
+                f"mean={mean:.6f}s max={t.get('max', 0.0):.6f}s"
+            )
+    counters = dump.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<36} {counters[name]}")
+    gauges = dump.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<36} {gauges[name]}")
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -30,13 +113,16 @@ def main(argv: list[str] | None = None) -> int:
     p_t1.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
     p_t1.add_argument("--events", type=int, default=4)
     p_t1.add_argument("--time-budget", type=float, default=None)
+    _add_pipeline_flags(p_t1)
 
-    sub.add_parser("table2", help="metatheory summary")
+    p_t2 = sub.add_parser("table2", help="metatheory summary")
+    _add_pipeline_flags(p_t2)
 
     p_f7 = sub.add_parser("figure7", help="discovery-time distribution")
     p_f7.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
     p_f7.add_argument("--events", type=int, default=4)
     p_f7.add_argument("--time-budget", type=float, default=None)
+    _add_pipeline_flags(p_f7)
 
     sub.add_parser("rtl-bug", help="the §6.2 buggy-RTL detection story")
     sub.add_parser("figures", help="verdicts for every paper figure")
@@ -44,26 +130,53 @@ def main(argv: list[str] | None = None) -> int:
     p_ab = sub.add_parser("ablation", help="per-axiom Forbid attribution")
     p_ab.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
     p_ab.add_argument("--events", type=int, default=3)
+    _add_pipeline_flags(p_ab)
 
     p_ex = sub.add_parser("export", help="write Forbid/Allow suites to disk")
     p_ex.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
     p_ex.add_argument("--events", type=int, default=3)
     p_ex.add_argument("--out", default="suites")
 
+    p_st = sub.add_parser("stats", help="pretty-print a --stats JSON dump")
+    p_st.add_argument("path", help="metrics JSON written by --stats")
+
     args = parser.parse_args(argv)
 
     if args.command == "table1":
         from .table1 import run_table1
 
-        print(run_table1(args.arch, args.events, args.time_budget).render())
+        print(
+            run_table1(
+                args.arch,
+                args.events,
+                args.time_budget,
+                workers=args.workers,
+                checkpoint=args.checkpoint,
+            ).render()
+        )
+        _write_stats(args)
     elif args.command == "table2":
         from .table2 import run_table2
 
-        print(run_table2().render())
+        print(
+            run_table2(
+                workers=args.workers, checkpoint=args.checkpoint
+            ).render()
+        )
+        _write_stats(args)
     elif args.command == "figure7":
         from .figure7 import run_figure7
 
-        print(run_figure7(args.arch, args.events, args.time_budget).render())
+        print(
+            run_figure7(
+                args.arch,
+                args.events,
+                args.time_budget,
+                workers=args.workers,
+                checkpoint=args.checkpoint,
+            ).render()
+        )
+        _write_stats(args)
     elif args.command == "rtl-bug":
         from .rtl_bug import run_rtl_bug
 
@@ -75,7 +188,15 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "ablation":
         from .ablation import run_ablation
 
-        print(run_ablation(args.arch, args.events).render())
+        print(
+            run_ablation(
+                args.arch,
+                args.events,
+                workers=args.workers,
+                checkpoint=args.checkpoint,
+            ).render()
+        )
+        _write_stats(args)
     elif args.command == "export":
         from ..enumeration import synthesise
         from .export import export_suite
@@ -86,6 +207,10 @@ def main(argv: list[str] | None = None) -> int:
             f"exported {len(manifest['forbid'])} forbid + "
             f"{len(manifest['allow'])} allow tests to {args.out}/"
         )
+    elif args.command == "stats":
+        with open(args.path, encoding="utf-8") as handle:
+            dump = json.load(handle)
+        print(_render_stats_dump(dump))
     return 0
 
 

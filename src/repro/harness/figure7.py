@@ -11,8 +11,10 @@ plus the headline percentiles.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..enumeration import SynthesisResult
+from ..obs import TRACER
 from .pipeline import CheckPipeline
 
 
@@ -79,6 +81,8 @@ def run_figure7(
     time_budget: float | None = None,
     synthesis: SynthesisResult | None = None,
     pipeline: CheckPipeline | None = None,
+    workers: int | None = None,
+    checkpoint: str | Path | None = None,
 ) -> Figure7Result:
     """Regenerate Figure 7's curve at reproduction scale.
 
@@ -87,11 +91,14 @@ def run_figure7(
     """
     if synthesis is None:
         if pipeline is None:
-            with CheckPipeline() as pipeline:
+            with CheckPipeline(
+                workers=workers, checkpoint=checkpoint
+            ) as pipeline:
                 return run_figure7(
                     arch, max_events, time_budget, synthesis, pipeline
                 )
-        synthesis = pipeline.synthesis(arch, max_events, time_budget)
+        with TRACER.span(f"figure7:{arch}"):
+            synthesis = pipeline.synthesis(arch, max_events, time_budget)
     return Figure7Result(
         arch=arch,
         max_events=max_events,

@@ -14,6 +14,16 @@ shared cache layer:
   ``multiprocessing`` pool (``workers > 1``, or the
   ``REPRO_PIPELINE_WORKERS`` environment variable).  Results are
   returned in submission order, so verdicts are identical either way.
+* **checkpoint/resume** -- with a ``checkpoint`` path, every completed
+  job appends one JSONL record keyed by its stable digest
+  (:func:`~repro.harness.checkpoint.job_digest`); a restarted run skips
+  the recorded jobs and re-evaluates only the remainder, incrementally
+  (records land as each job finishes, not when the batch does).
+* **retry/backoff + observability** -- failing jobs retry with
+  exponential backoff, slow jobs are flagged against a soft timeout,
+  and per-job wall time, queue wait, and worker utilization land in
+  :data:`repro.obs.REGISTRY` (pool workers accumulate per-process and
+  ship deltas back with each result -- merge-on-join).
 
 Jobs reference hardware and models *by name* so that worker processes
 can rebuild them locally instead of pickling model objects; each worker
@@ -23,11 +33,16 @@ keeps a per-process registry.
 from __future__ import annotations
 
 import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from ..enumeration import SynthesisResult, synthesise
 from ..models import get_model
 from ..models.base import MemoryModel
+from ..obs import REGISTRY, TRACER
+from .checkpoint import CheckpointStore, job_digest
 
 # ---------------------------------------------------------------------------
 # Per-process registries (shared by the driver process and pool workers)
@@ -94,6 +109,85 @@ def run_job(job: tuple):
     raise ValueError(f"unknown job kind {kind!r}")
 
 
+# ---------------------------------------------------------------------------
+# Instrumented, retrying job invocation (sequential path and pool workers)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobPolicy:
+    """Retry and soft-timeout policy for one pipeline's jobs.
+
+    ``retries`` failing attempts re-run with exponential backoff
+    (``backoff * 2**attempt`` seconds); a job slower than
+    ``soft_timeout`` seconds is *flagged* (counter
+    ``pipeline.jobs.soft_timeouts``), not killed -- verdicts stay
+    deterministic, and the flag tells the operator which batches need a
+    tighter bound or more workers.
+    """
+
+    retries: int = 0
+    backoff: float = 0.05
+    soft_timeout: float | None = None
+
+
+def _invoke_with_policy(fn: Callable, item, submitted: float, policy: JobPolicy):
+    """One instrumented job evaluation: queue wait, retries, wall time."""
+    start = time.monotonic()
+    REGISTRY.timer("pipeline.job.queue_wait_seconds").observe(start - submitted)
+    attempt = 0
+    while True:
+        try:
+            result = fn(item)
+            break
+        except Exception:
+            if attempt >= policy.retries:
+                REGISTRY.counter("pipeline.jobs.failed").inc()
+                raise
+            REGISTRY.counter("pipeline.jobs.retries").inc()
+            time.sleep(policy.backoff * (2**attempt))
+            attempt += 1
+    elapsed = time.monotonic() - start
+    REGISTRY.timer("pipeline.job.seconds").observe(elapsed)
+    REGISTRY.counter("pipeline.jobs.completed").inc()
+    if policy.soft_timeout is not None and elapsed > policy.soft_timeout:
+        REGISTRY.counter("pipeline.jobs.soft_timeouts").inc()
+    return result
+
+
+class _PoolTask:
+    """The picklable callable shipped to pool workers.
+
+    Returns ``(result, metrics_delta, error)`` so the parent can merge
+    the worker's per-process metrics even when the job failed; the
+    parent re-raises ``error`` after merging.
+    """
+
+    __slots__ = ("fn", "policy")
+
+    def __init__(self, fn: Callable, policy: JobPolicy):
+        self.fn = fn
+        self.policy = policy
+
+    def __call__(self, packed):
+        submitted, item = packed
+        try:
+            result = _invoke_with_policy(self.fn, item, submitted, self.policy)
+            return result, REGISTRY.flush_delta(), None
+        except Exception as error:
+            return None, REGISTRY.flush_delta(), error
+
+
+def _pool_worker_init() -> None:
+    """Reset the worker's metrics registry after fork/spawn.
+
+    A forked worker inherits a copy of the parent's registry; without a
+    reset its first ``flush_delta`` would re-report everything the
+    parent had already accumulated.
+    """
+    REGISTRY.reset()
+
+
 class CheckPipeline:
     """Evaluates batches of checking jobs through shared caches.
 
@@ -101,14 +195,44 @@ class CheckPipeline:
         workers: fan-out width.  ``None`` reads ``REPRO_PIPELINE_WORKERS``
             (defaulting to sequential); ``0``/``1`` force sequential
             evaluation; larger values use a ``multiprocessing`` pool.
+        checkpoint: optional path to a JSONL checkpoint file.  Completed
+            jobs append one record each; a restarted pipeline pointed at
+            the same file skips them (see :mod:`repro.harness.checkpoint`).
+        retries / retry_backoff / soft_timeout: per-job
+            :class:`JobPolicy` knobs.  ``None`` reads the
+            ``REPRO_PIPELINE_RETRIES`` / ``REPRO_PIPELINE_BACKOFF`` /
+            ``REPRO_PIPELINE_SOFT_TIMEOUT`` environment variables.
     """
 
-    def __init__(self, workers: int | None = None):
+    def __init__(
+        self,
+        workers: int | None = None,
+        checkpoint: str | Path | None = None,
+        retries: int | None = None,
+        retry_backoff: float | None = None,
+        soft_timeout: float | None = None,
+    ):
         if workers is None:
             workers = int(os.environ.get("REPRO_PIPELINE_WORKERS", "1"))
         self.workers = max(1, workers)
+        if retries is None:
+            retries = int(os.environ.get("REPRO_PIPELINE_RETRIES", "0"))
+        if retry_backoff is None:
+            retry_backoff = float(
+                os.environ.get("REPRO_PIPELINE_BACKOFF", "0.05")
+            )
+        if soft_timeout is None:
+            raw = os.environ.get("REPRO_PIPELINE_SOFT_TIMEOUT")
+            soft_timeout = float(raw) if raw else None
+        self.policy = JobPolicy(
+            retries=retries, backoff=retry_backoff, soft_timeout=soft_timeout
+        )
+        self.checkpoint = (
+            CheckpointStore(checkpoint) if checkpoint is not None else None
+        )
         self._synthesis_cache: dict[tuple, SynthesisResult] = {}
         self._pool = None
+        REGISTRY.gauge("pipeline.workers").set(self.workers)
 
     # The pipeline owns one worker pool across batches; drivers issue
     # several small batches (one per test size), so per-batch pool
@@ -125,6 +249,8 @@ class CheckPipeline:
             self._pool.close()
             self._pool.join()
             self._pool = None
+        if self.checkpoint is not None:
+            self.checkpoint.close()
 
     def __enter__(self) -> "CheckPipeline":
         return self
@@ -156,15 +282,57 @@ class CheckPipeline:
 
     # -- batched evaluation ----------------------------------------------
 
-    def map(self, fn: Callable, items: Sequence) -> list:
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        on_result: Callable[[int, object], None] | None = None,
+    ) -> list:
         """Ordered map over independent items, optionally fanned out.
 
         ``fn`` must be a module-level callable when ``workers > 1``
-        (pool workers import it by qualified name).
+        (pool workers import it by qualified name).  ``on_result`` fires
+        in submission order as each result lands -- the checkpoint hook,
+        so completed work survives a crash mid-batch.
         """
         items = list(items)
-        if self.workers <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+        with TRACER.span("pipeline.batch"), REGISTRY.timed(
+            "pipeline.batch.seconds"
+        ):
+            busy_before = REGISTRY.timer("pipeline.job.seconds").total
+            batch_start = time.monotonic()
+            if self.workers <= 1 or len(items) <= 1:
+                results = []
+                for index, item in enumerate(items):
+                    result = _invoke_with_policy(
+                        fn, item, time.monotonic(), self.policy
+                    )
+                    if on_result is not None:
+                        on_result(index, result)
+                    results.append(result)
+            else:
+                results = self._map_pool(fn, items, on_result)
+            wall = time.monotonic() - batch_start
+            if wall > 0 and items:
+                busy = REGISTRY.timer("pipeline.job.seconds").total - busy_before
+                REGISTRY.gauge("pipeline.worker_utilization").set(
+                    min(1.0, busy / (wall * self.workers))
+                )
+        return results
+
+    def _map_pool(
+        self,
+        fn: Callable,
+        items: list,
+        on_result: Callable[[int, object], None] | None,
+    ) -> list:
+        """Fan ``items`` out across the worker pool, in order.
+
+        Uses ``imap`` (not ``map``) so results stream back as they
+        complete: each one is checkpointed and its worker's metrics
+        delta merged immediately.  A job error is re-raised in the
+        parent *after* the merge, with every earlier result recorded.
+        """
         if self._pool is None:
             import multiprocessing
 
@@ -174,12 +342,75 @@ class CheckPipeline:
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else "spawn"
             )
-            self._pool = context.Pool(self.workers)
-        return self._pool.map(fn, items)
+            self._pool = context.Pool(
+                self.workers, initializer=_pool_worker_init
+            )
+        submitted = time.monotonic()
+        task = _PoolTask(fn, self.policy)
+        results = []
+        for index, (result, delta, error) in enumerate(
+            self._pool.imap(task, [(submitted, item) for item in items])
+        ):
+            REGISTRY.merge(delta)
+            if error is not None:
+                raise error
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+
+    def map_checkpointed(
+        self,
+        fn: Callable,
+        items: Sequence,
+        kind: str = "map",
+        encode: Callable = lambda result: result,
+        decode: Callable = lambda record: record,
+    ) -> list:
+        """:meth:`map` with per-item checkpoint records.
+
+        Each item is digested (:func:`~repro.harness.checkpoint.
+        job_digest`); items whose digests are already in the store are
+        answered from disk (``decode`` of the stored record), the rest
+        are evaluated and recorded (``encode`` must make the result
+        JSON-serialisable).  Without a checkpoint this is plain
+        :meth:`map`.
+        """
+        items = list(items)
+        store = self.checkpoint
+        if store is None:
+            return self.map(fn, items)
+        digests = [job_digest(item) for item in items]
+        results: list = [None] * len(items)
+        pending: list[int] = []
+        for index, digest in enumerate(digests):
+            if digest in store:
+                results[index] = decode(store.get(digest))
+            else:
+                pending.append(index)
+        hits = len(items) - len(pending)
+        REGISTRY.counter("pipeline.checkpoint.lookups").inc(len(items))
+        REGISTRY.counter("pipeline.checkpoint.hits").inc(hits)
+        REGISTRY.counter("pipeline.checkpoint.misses").inc(len(pending))
+
+        def record(position: int, result) -> None:
+            index = pending[position]
+            store.record(digests[index], encode(result), kind)
+            results[index] = result
+
+        if pending:
+            self.map(fn, [items[i] for i in pending], on_result=record)
+        return results
 
     def run_jobs(self, jobs: Iterable[tuple]) -> list:
-        """Evaluate job tuples (see :func:`run_job`) in submission order."""
-        return self.map(run_job, list(jobs))
+        """Evaluate job tuples (see :func:`run_job`) in submission order.
+
+        With a checkpoint configured, previously completed jobs are
+        answered from the store and only the remainder is evaluated.
+        """
+        jobs = list(jobs)
+        kind = jobs[0][0] if jobs else "job"
+        return self.map_checkpointed(run_job, jobs, kind=kind)
 
     def observable_batch(
         self, arch: str, tests: Sequence[tuple[object, dict | None]]

@@ -19,8 +19,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from pathlib import Path
+
 from ..enumeration import SynthesisResult
 from ..litmus import execution_to_litmus
+from ..obs import TRACER
 from .pipeline import CheckPipeline, hardware_for
 
 
@@ -96,19 +99,33 @@ def run_table1(
     time_budget: float | None = None,
     synthesis: SynthesisResult | None = None,
     pipeline: CheckPipeline | None = None,
+    workers: int | None = None,
+    checkpoint: str | Path | None = None,
 ) -> Table1Result:
     """Regenerate Table 1 for one architecture.
 
     Hardware validation runs through the batched ``pipeline`` (shared
     synthesis cache, optional multiprocessing fan-out); verdicts are
     identical to the sequential path by construction.  A privately
-    constructed pipeline is closed (worker pool drained) before return.
+    constructed pipeline is closed (worker pool drained) before return;
+    with ``checkpoint``, a killed run restarts from the recorded jobs.
     """
     if pipeline is None:
-        with CheckPipeline() as pipeline:
+        with CheckPipeline(workers=workers, checkpoint=checkpoint) as pipeline:
             return run_table1(
                 arch, max_events, time_budget, synthesis, pipeline
             )
+    with TRACER.span(f"table1:{arch}"):
+        return _run_table1(arch, max_events, time_budget, synthesis, pipeline)
+
+
+def _run_table1(
+    arch: str,
+    max_events: int,
+    time_budget: float | None,
+    synthesis: SynthesisResult | None,
+    pipeline: CheckPipeline,
+) -> Table1Result:
     if synthesis is None:
         synthesis = pipeline.synthesis(arch, max_events, time_budget)
     result = Table1Result(

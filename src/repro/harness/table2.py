@@ -9,13 +9,16 @@ timeout markers.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..metatheory import (
     check_compilation,
     check_lock_elision,
     check_monotonicity,
 )
+from ..obs import TRACER
 from .pipeline import CheckPipeline
 
 
@@ -115,16 +118,20 @@ def run_table2(
     compilation_bound: int = 3,
     time_budget: float | None = 600.0,
     pipeline: CheckPipeline | None = None,
+    workers: int | None = None,
+    checkpoint: str | Path | None = None,
 ) -> Table2Result:
     """Regenerate Table 2 (with reproduction-scale bounds).
 
     The rows are independent checks, so they run as one batch through
     the ``pipeline`` (optionally fanned out across processes) and are
     collected in the table's canonical order.  A privately constructed
-    pipeline is closed (worker pool drained) before return.
+    pipeline is closed (worker pool drained) before return.  With a
+    ``checkpoint`` path, completed rows are recorded as they finish and
+    a restarted run replays them from disk instead of re-checking.
     """
     if pipeline is None:
-        with CheckPipeline() as pipeline:
+        with CheckPipeline(workers=workers, checkpoint=checkpoint) as pipeline:
             return run_table2(
                 monotonicity_bounds, compilation_bound, time_budget, pipeline
             )
@@ -146,4 +153,12 @@ def run_table2(
         ("elision", arch, None, time_budget)
         for arch in ("x86", "power", "armv8", "armv8-fixed")
     )
-    return Table2Result(rows=pipeline.map(_run_row, specs))
+    with TRACER.span("table2"):
+        rows = pipeline.map_checkpointed(
+            _run_row,
+            specs,
+            kind="table2-row",
+            encode=dataclasses.asdict,
+            decode=lambda encoded: Table2Row(**encoded),
+        )
+    return Table2Result(rows=rows)

@@ -1,0 +1,77 @@
+"""Observability: the process-global metrics registry and tracer.
+
+Every instrumented layer (relations, cat, enumeration, sim, harness)
+records into :data:`REGISTRY` and :data:`TRACER`.  The harness CLI dumps
+both with :func:`stats_snapshot` / :func:`write_stats`; tests isolate
+themselves with :func:`reset_observability`.
+
+See ``docs/observability.md`` for the metric naming scheme and how to
+read a stats dump.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import Counter, Gauge, MetricsRegistry, Timer
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "TRACER",
+    "Timer",
+    "Tracer",
+    "reset_observability",
+    "stats_snapshot",
+    "write_stats",
+]
+
+#: The process-global registry all instrumented layers record into.
+REGISTRY = MetricsRegistry()
+
+#: The process-global tracer (per-thread span stacks).
+TRACER = Tracer()
+
+
+def stats_snapshot() -> dict:
+    """Merged metrics + span trees, ready for ``json.dump``."""
+    snapshot = REGISTRY.snapshot()
+    cache_prefixes = (
+        "relations.global_intern",
+        "relations.context",
+        "relations.acyclic_cache",
+        "relations.closure_cache",
+        "cat.compile_cache",
+        "pipeline.checkpoint",
+    )
+    hit_rates = {}
+    for prefix in cache_prefixes:
+        rate = REGISTRY.hit_rate(prefix)
+        if rate is not None:
+            hit_rates[prefix] = rate
+    return {
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "timers": snapshot["timers"],
+        "hit_rates": hit_rates,
+        "spans": TRACER.snapshot(),
+    }
+
+
+def write_stats(path: str | Path) -> Path:
+    """Write :func:`stats_snapshot` as JSON; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(stats_snapshot(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def reset_observability() -> None:
+    """Drop all recorded metrics and spans (test isolation)."""
+    REGISTRY.reset()
+    TRACER.reset()

@@ -1,0 +1,268 @@
+"""Zero-dependency metrics registry: counters, timers, gauges.
+
+The pipeline, the relation engine, the cat evaluator, and the candidate
+enumerator all record into one process-global :data:`REGISTRY` (exposed
+via :mod:`repro.obs`).  Three metric kinds cover every call site:
+
+* **counters** -- monotone event counts (cache hits/misses, candidates
+  examined, retries);
+* **timers** -- accumulated durations with call counts and maxima
+  (per-job wall time, queue wait, per-bound synthesis time);
+* **gauges** -- last-written values (worker count, utilization).
+
+Concurrency model.  Within a process, every mutation takes the owning
+registry's lock, so concurrent threads never corrupt a metric.  Across
+processes the registry is **per-process accumulated and merged on
+join**: each :mod:`multiprocessing` pool worker records into its own
+(freshly reset) registry, ships incremental :meth:`~MetricsRegistry.
+flush_delta` snapshots back with its results, and the parent
+:meth:`~MetricsRegistry.merge`\\ s them in -- no shared memory, no
+cross-process locks.
+
+Snapshots are plain dicts of JSON-serialisable scalars, so a merged
+snapshot dumps directly to the ``repro-harness ... --stats`` JSON file.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Counter:
+    """A monotone event counter.
+
+    ``inc`` is deliberately lock-free: counters sit on hot cache-lookup
+    paths (millions of calls per synthesis run) where a lock acquisition
+    per increment costs more than the guarded work.  Under the GIL the
+    read-add-store can lose an increment only across a thread switch --
+    an acceptable error for statistics -- and the cross-*process* story
+    is per-process accumulation + merge-on-join, which needs no lock
+    here either.  Snapshot/merge/reset take the registry lock.
+    """
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str, lock: threading.RLock):
+        self.name = name
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.RLock):
+        self.name = name
+        self._lock = lock
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Timer:
+    """Accumulated durations: total seconds, observation count, maximum."""
+
+    __slots__ = ("name", "_lock", "count", "total", "max")
+
+    def __init__(self, name: str, lock: threading.RLock):
+        self.name = name
+        self._lock = lock
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        start = time.monotonic()
+        try:
+            yield
+        finally:
+            self.observe(time.monotonic() - start)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of counters, timers, and gauges.
+
+    Metric objects are created on first use and live for the registry's
+    lifetime, so hot paths can bind them once (``C = REGISTRY.counter(
+    "x")``) and pay only the increment afterwards.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+        # Baseline for flush_delta: the snapshot state already reported.
+        self._flushed: dict = _empty_snapshot()
+
+    # -- metric access ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name, self._lock)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name, self._lock)
+            return metric
+
+    def timer(self, name: str) -> Timer:
+        with self._lock:
+            metric = self._timers.get(name)
+            if metric is None:
+                metric = self._timers[name] = Timer(name, self._lock)
+            return metric
+
+    # -- convenience wrappers --------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, seconds: float) -> None:
+        self.timer(name).observe(seconds)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        with self.timer(name).time():
+            yield
+
+    # -- snapshots, deltas, merging --------------------------------------
+
+    def snapshot(self) -> dict:
+        """The registry as a JSON-serialisable dict."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in self._counters.items()
+                },
+                "gauges": {name: g.value for name, g in self._gauges.items()},
+                "timers": {
+                    name: {"count": t.count, "total": t.total, "max": t.max}
+                    for name, t in self._timers.items()
+                },
+            }
+
+    def flush_delta(self) -> dict:
+        """The snapshot delta since the previous flush (and mark it flushed).
+
+        Pool workers call this after each job so the parent process can
+        merge exactly the metrics that job produced, once.
+        """
+        with self._lock:
+            current = self.snapshot()
+            delta = _snapshot_difference(current, self._flushed)
+            self._flushed = current
+            return delta
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot (or delta) into this one.
+
+        Counters and timer count/total accumulate; timer maxima take the
+        larger side; gauges take the incoming value (last write wins).
+        """
+        if not snapshot:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.counter(name).inc(value)
+            for name, value in snapshot.get("gauges", {}).items():
+                self.gauge(name).set(value)
+            for name, stats in snapshot.get("timers", {}).items():
+                timer = self.timer(name)
+                timer.count += stats.get("count", 0)
+                timer.total += stats.get("total", 0.0)
+                timer.max = max(timer.max, stats.get("max", 0.0))
+
+    def reset(self) -> None:
+        """Zero all metrics and the flush baseline (fresh worker state).
+
+        Metric *objects* survive the reset: hot paths bind them once at
+        module import (``C = REGISTRY.counter("x")``), so clearing the
+        dicts would orphan those references -- their increments would
+        keep landing on objects no snapshot ever reads.
+        """
+        with self._lock:
+            for counter in self._counters.values():
+                counter._value = 0
+            for gauge in self._gauges.values():
+                gauge._value = 0.0
+            for timer in self._timers.values():
+                timer.count = 0
+                timer.total = 0.0
+                timer.max = 0.0
+            self._flushed = _empty_snapshot()
+
+    def hit_rate(self, prefix: str) -> float | None:
+        """``hits / lookups`` for a cache instrumented under ``prefix``
+        (``{prefix}.hits`` / ``{prefix}.lookups``), or None if unused."""
+        with self._lock:
+            hits = self._counters.get(f"{prefix}.hits")
+            lookups = self._counters.get(f"{prefix}.lookups")
+            if lookups is None or lookups.value == 0:
+                return None
+            return (hits.value if hits else 0) / lookups.value
+
+
+def _empty_snapshot() -> dict:
+    return {"counters": {}, "gauges": {}, "timers": {}}
+
+
+def _snapshot_difference(current: dict, baseline: dict) -> dict:
+    """``current - baseline`` for the accumulating fields; gauges pass
+    through as-is (they are last-value, not cumulative)."""
+    base_counters = baseline.get("counters", {})
+    base_timers = baseline.get("timers", {})
+    counters = {
+        name: value - base_counters.get(name, 0)
+        for name, value in current["counters"].items()
+        if value != base_counters.get(name, 0)
+    }
+    timers = {}
+    for name, stats in current["timers"].items():
+        base = base_timers.get(name, {"count": 0, "total": 0.0, "max": 0.0})
+        if stats["count"] != base["count"]:
+            timers[name] = {
+                "count": stats["count"] - base["count"],
+                "total": stats["total"] - base["total"],
+                # Maxima do not difference; report the current maximum
+                # (merge takes the larger side, so this is safe).
+                "max": stats["max"],
+            }
+    return {"counters": counters, "gauges": dict(current["gauges"]), "timers": timers}

@@ -1,0 +1,98 @@
+"""Span-based tracing: where does a pipeline run spend its time?
+
+A *span* is a named wall-clock interval with children: driver runs open
+a root span (``table1:x86``), the synthesis they trigger opens a child
+(``synthesis:x86``) with one grandchild per event bound, and every
+pipeline batch opens a sibling (``pipeline.batch``).  The resulting
+trees are part of the ``--stats`` JSON dump, giving per-stage wall-clock
+structure that flat timers cannot (the same batch span may appear under
+different drivers).
+
+Spans nest per-thread: each thread has its own open-span stack, so a
+span opened inside another on the same thread becomes its child, while
+spans on other threads form their own roots.  Finished root spans are
+collected on the tracer (lock-protected); worker *processes* do not
+ship spans back -- their per-job costs surface through the pipeline's
+timers instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Span:
+    """One named interval plus its children (closed spans only)."""
+
+    __slots__ = ("name", "started", "elapsed", "children")
+
+    def __init__(self, name: str, started: float):
+        self.name = name
+        self.started = started
+        self.elapsed = 0.0
+        self.children: list[Span] = []
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "elapsed": self.elapsed,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Span {self.name} {self.elapsed:.3f}s ({len(self.children)} children)>"
+
+
+class Tracer:
+    """Collects per-thread span trees."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a span; it closes (and records its elapsed time) on exit.
+
+        Exceptions propagate, but the span still closes -- a crashed
+        batch's partial timing is exactly what post-mortem debugging
+        wants to see.
+        """
+        stack = self._stack()
+        span = Span(name, time.monotonic())
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.elapsed = time.monotonic() - span.started
+            stack.pop()
+            if not stack:
+                with self._lock:
+                    self._roots.append(span)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def snapshot(self) -> list[dict]:
+        """All finished root span trees, as JSON-serialisable dicts."""
+        with self._lock:
+            return [root.to_dict() for root in self._roots]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+        self._local = threading.local()

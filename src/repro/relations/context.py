@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from ..obs import REGISTRY
 from .relation import Relation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -32,6 +33,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _GLOBAL_STATIC: dict[tuple, object] = {}
 _GLOBAL_STATIC_MAX = 1 << 18
 
+_GI_LOOKUPS = REGISTRY.counter("relations.global_intern.lookups")
+_GI_HITS = REGISTRY.counter("relations.global_intern.hits")
+_GI_MISSES = REGISTRY.counter("relations.global_intern.misses")
+
 
 def global_intern(key: tuple, compute: Callable[[], object]) -> object:
     """Memoise ``compute()`` under ``key`` across all executions.
@@ -39,15 +44,24 @@ def global_intern(key: tuple, compute: Callable[[], object]) -> object:
     The key must capture every input the computed value depends on;
     values must be immutable.
     """
+    _GI_LOOKUPS.inc()
     value = _GLOBAL_STATIC.get(key)
     if value is None:
+        _GI_MISSES.inc()
         value = compute()
         if len(_GLOBAL_STATIC) >= _GLOBAL_STATIC_MAX:
             # Reset rather than stop caching: bounds memory while keeping
             # the table effective for the current workload.
             _GLOBAL_STATIC.clear()
         _GLOBAL_STATIC[key] = value
+    else:
+        _GI_HITS.inc()
     return value
+
+
+_CTX_LOOKUPS = REGISTRY.counter("relations.context.lookups")
+_CTX_HITS = REGISTRY.counter("relations.context.hits")
+_CTX_MISSES = REGISTRY.counter("relations.context.misses")
 
 
 class RelationContext:
@@ -75,9 +89,13 @@ class RelationContext:
 
     def get(self, key: str, compute: Callable[[], object]) -> object:
         """Generic memo slot (used by models sharing work across axioms)."""
+        _CTX_LOOKUPS.inc()
         cache = self._cache
         if key not in cache:
+            _CTX_MISSES.inc()
             cache[key] = compute()
+        else:
+            _CTX_HITS.inc()
         return cache[key]
 
     # ------------------------------------------------------------------

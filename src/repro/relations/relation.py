@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator
 
+from ..obs import REGISTRY
+
 Pair = tuple[int, int]
 
 
@@ -164,21 +166,32 @@ def _rebuild(pairs: tuple[Pair, ...], elements: tuple[int, ...]) -> "Relation":
 _ACYCLIC_CACHE: dict[tuple[int, tuple[int, ...]], bool] = {}
 _ACYCLIC_CACHE_MAX = 1 << 20
 
+# Uncached evaluations (uninterned universes) count as misses, so
+# hits + misses == lookups holds for every path through the cache.
+_ACYC_LOOKUPS = REGISTRY.counter("relations.acyclic_cache.lookups")
+_ACYC_HITS = REGISTRY.counter("relations.acyclic_cache.hits")
+_ACYC_MISSES = REGISTRY.counter("relations.acyclic_cache.misses")
+
 
 def acyclic_rows_cached(uni: _Universe, rows: tuple[int, ...]) -> bool:
     """``acyclic_rows`` with the verdict interned per (universe, rows)."""
+    _ACYC_LOOKUPS.inc()
     if uni.interned:
         # Interned universes are immortal, so their id is a stable key.
         key = (id(uni), rows)
         verdict = _ACYCLIC_CACHE.get(key)
         if verdict is None:
+            _ACYC_MISSES.inc()
             verdict = acyclic_rows(rows)
             if len(_ACYCLIC_CACHE) >= _ACYCLIC_CACHE_MAX:
                 # Reset rather than stop caching: bounds memory while
                 # keeping the cache effective for the current workload.
                 _ACYCLIC_CACHE.clear()
             _ACYCLIC_CACHE[key] = verdict
+        else:
+            _ACYC_HITS.inc()
         return verdict
+    _ACYC_MISSES.inc()
     return acyclic_rows(rows)
 
 
@@ -190,18 +203,27 @@ def acyclic_rows_cached(uni: _Universe, rows: tuple[int, ...]) -> bool:
 _CLOSURE_CACHE: dict[tuple[int, tuple[int, ...]], tuple[int, ...]] = {}
 _CLOSURE_CACHE_MAX = 1 << 18
 
+_CLOS_LOOKUPS = REGISTRY.counter("relations.closure_cache.lookups")
+_CLOS_HITS = REGISTRY.counter("relations.closure_cache.hits")
+_CLOS_MISSES = REGISTRY.counter("relations.closure_cache.misses")
+
 
 def closure_rows_cached(uni: _Universe, rows: tuple[int, ...]) -> tuple[int, ...]:
     """``closure_rows`` with the result interned per (universe, rows)."""
+    _CLOS_LOOKUPS.inc()
     if uni.interned:
         key = (id(uni), rows)
         closed = _CLOSURE_CACHE.get(key)
         if closed is None:
+            _CLOS_MISSES.inc()
             closed = tuple(closure_rows(rows))
             if len(_CLOSURE_CACHE) >= _CLOSURE_CACHE_MAX:
                 _CLOSURE_CACHE.clear()
             _CLOSURE_CACHE[key] = closed
+        else:
+            _CLOS_HITS.inc()
         return closed
+    _CLOS_MISSES.inc()
     return tuple(closure_rows(rows))
 
 

@@ -27,6 +27,10 @@ from ..events import Execution
 from ..litmus.candidates import candidate_executions
 from ..litmus.program import Program
 from ..models.base import AxiomThunk, MemoryModel
+from ..obs import REGISTRY
+
+_OBSERVABLE_TIMER = REGISTRY.timer("sim.observable.seconds")
+_CANDIDATES = REGISTRY.counter("sim.observable.candidates")
 
 
 class FilteredModel(MemoryModel):
@@ -104,16 +108,18 @@ class OracleHardware:
         """Would running this test on the simulated machine ever satisfy
         its postcondition?  With ``intended_co``, the candidate's
         coherence order must match the generating execution's."""
-        for candidate in candidate_executions(program):
-            if not candidate.passes(program):
-                continue
-            if intended_co is not None and not _co_matches(
-                candidate, intended_co
-            ):
-                continue
-            if self._implementation_allows(candidate.execution):
-                return True
-        return False
+        with _OBSERVABLE_TIMER.time():
+            for candidate in candidate_executions(program):
+                _CANDIDATES.inc()
+                if not candidate.passes(program):
+                    continue
+                if intended_co is not None and not _co_matches(
+                    candidate, intended_co
+                ):
+                    continue
+                if self._implementation_allows(candidate.execution):
+                    return True
+            return False
 
 
 def _co_matches(candidate, intended_co: dict[str, tuple[int, ...]]) -> bool:
@@ -139,4 +145,5 @@ class TSOHardware:
     ) -> bool:
         from .tso import TSOMachine
 
-        return TSOMachine(program).observable(intended_co)
+        with _OBSERVABLE_TIMER.time():
+            return TSOMachine(program).observable(intended_co)

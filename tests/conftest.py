@@ -2,6 +2,12 @@
 
 Several test modules quantify over "all well-formed executions up to a
 bound"; enumerating once per session keeps the suite fast.
+
+The autouse ``isolate_pipeline_caches`` fixture snapshots and restores
+the harness's per-process hardware/model registries around every test,
+so a test that mutates them (monkeypatched machines, dropped-axiom
+models) cannot leak state into a later test -- the suite must pass in
+any order (``pytest -p no:randomly`` parity).
 """
 
 from __future__ import annotations
@@ -9,6 +15,19 @@ from __future__ import annotations
 import pytest
 
 from repro.enumeration import enumerate_executions, get_config
+from repro.harness import pipeline as _pipeline
+
+
+@pytest.fixture(autouse=True)
+def isolate_pipeline_caches():
+    """Snapshot/restore the harness's per-process caches around each test."""
+    hardware = dict(_pipeline._HARDWARE_CACHE)
+    models = dict(_pipeline._MODEL_CACHE)
+    yield
+    _pipeline._HARDWARE_CACHE.clear()
+    _pipeline._HARDWARE_CACHE.update(hardware)
+    _pipeline._MODEL_CACHE.clear()
+    _pipeline._MODEL_CACHE.update(models)
 
 
 def _enumerate(target: str, max_events: int) -> list:

@@ -1,0 +1,142 @@
+"""Fuzzing the cat lexer/parser: hostile input may be rejected, but
+only ever with a :class:`~repro.cat.errors.CatError` subclass.
+
+Three generators -- random character soup, random streams of *valid*
+tokens, and mutated copies of the bundled ``.cat`` models -- plus
+regression cases pinning the failures the fuzzers found (deep paren
+nesting and long complement chains used to escape as RecursionError).
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.cat.ast import Model
+from repro.cat.errors import CatError, CatSyntaxError
+from repro.cat.lexer import KEYWORDS, SIMPLE_TOKENS, tokenize
+from repro.cat.loader import MODELS_DIR
+from repro.cat.parser import _MAX_DEPTH, parse
+
+BUNDLED = sorted(Path(MODELS_DIR).glob("*.cat"))
+
+_CHAR_POOL = (
+    "abcdefgXYZ_0123456789 \t\n\"'|&\\;+*?~()[]=,^-. <>{}@#$%!"
+    + "let rec and as acyclic irreflexive empty (* *) ^-1 po rf"
+)
+
+_TOKEN_POOL = (
+    list(SIMPLE_TOKENS)
+    + list(KEYWORDS)
+    + ["^-1", '"name"', "po", "rf", "co", "fr", "cross", "0"]
+)
+
+
+def _assert_parses_or_cat_error(source: str) -> None:
+    """The only acceptable outcomes: a Model, or a CatError subclass."""
+    try:
+        model = parse(source)
+    except CatError:
+        return
+    assert isinstance(model, Model)
+
+
+def test_fuzz_character_soup():
+    rng = random.Random(0xCA7)
+    for _ in range(400):
+        length = rng.randrange(0, 120)
+        source = "".join(rng.choice(_CHAR_POOL) for _ in range(length))
+        _assert_parses_or_cat_error(source)
+
+
+def test_fuzz_random_token_streams():
+    """Streams of individually-valid tokens in random order: the parser
+    must reject bad arrangements grammatically, never crash."""
+    rng = random.Random(0x70CE)
+    for _ in range(400):
+        stream = [rng.choice(_TOKEN_POOL) for _ in range(rng.randrange(0, 60))]
+        _assert_parses_or_cat_error('"fuzz" ' + " ".join(stream))
+        _assert_parses_or_cat_error(" ".join(stream))
+
+
+def _mutate(source: str, rng: random.Random) -> str:
+    kind = rng.randrange(4)
+    if not source:
+        return rng.choice(_CHAR_POOL)
+    position = rng.randrange(len(source))
+    if kind == 0:  # delete a span
+        return source[:position] + source[position + rng.randrange(1, 12) :]
+    if kind == 1:  # insert noise
+        noise = "".join(
+            rng.choice(_CHAR_POOL) for _ in range(rng.randrange(1, 8))
+        )
+        return source[:position] + noise + source[position:]
+    if kind == 2:  # duplicate a span
+        span = source[position : position + rng.randrange(1, 24)]
+        return source[:position] + span + span + source[position:]
+    return source[:position]  # truncate
+
+
+def test_fuzz_mutated_bundled_models():
+    assert BUNDLED, "bundled .cat models must exist"
+    rng = random.Random(0xBEEF)
+    for path in BUNDLED:
+        source = path.read_text()
+        for _ in range(60):
+            mutated = source
+            for _ in range(rng.randrange(1, 4)):
+                mutated = _mutate(mutated, rng)
+            _assert_parses_or_cat_error(mutated)
+
+
+def test_bundled_models_still_parse_unmutated():
+    for path in BUNDLED:
+        model = parse(path.read_text())
+        assert isinstance(model, Model)
+        assert model.statements
+
+
+# ---------------------------------------------------------------------------
+# Regressions pinned from fuzzing
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bracket", [("(", ")"), ("[", "]")])
+def test_regression_deep_nesting_raises_cat_error(bracket):
+    """Found by fuzzing: ~120 nesting levels used to blow the Python
+    stack (RecursionError, not CatError).  The parser now enforces a
+    depth bound."""
+    opening, closing = bracket
+    deep = '"m" let x = ' + opening * 5000 + "po" + closing * 5000
+    with pytest.raises(CatSyntaxError, match="nesting"):
+        parse(deep)
+
+
+def test_regression_nesting_just_below_the_bound_parses():
+    depth = _MAX_DEPTH - 2
+    source = '"m" let x = ' + "(" * depth + "po" + ")" * depth
+    assert isinstance(parse(source), Model)
+
+
+def test_regression_long_tilde_chain_parses_iteratively():
+    """Found by fuzzing: complement chains recursed outside the depth
+    accounting; they now parse iteratively in constant stack."""
+    model = parse('"m" let x = ' + "~" * 5000 + "po")
+    expr = model.statements[0].bindings[0].value
+    for _ in range(5000):
+        expr = expr.operand
+    assert expr.name == "po"
+
+
+def test_regression_unterminated_input_raises_cat_error():
+    for source in ('"m', '"m" (*', '"m" let x = (po', '"m" let x ='):
+        with pytest.raises(CatError):
+            parse(source)
+
+
+def test_lexer_rejects_junk_with_position():
+    with pytest.raises(CatSyntaxError) as excinfo:
+        tokenize('"m"\nlet x = €')
+    assert excinfo.value.line == 2

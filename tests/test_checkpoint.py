@@ -1,0 +1,247 @@
+"""Checkpoint/resume: stable digests, the JSONL store, crash recovery.
+
+The headline property (the acceptance criterion for the checkpoint
+feature): a pipeline run killed mid-batch and restarted from its
+checkpoint file produces results identical to an uninterrupted run --
+sequentially and under multiprocessing fan-out.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness import CheckPipeline, run_table1
+from repro.harness import pipeline as pipeline_module
+from repro.harness.checkpoint import CheckpointStore, _canon, job_digest
+from repro.harness.pipeline import run_job
+from repro.litmus import execution_to_litmus
+from repro.obs import reset_observability, stats_snapshot
+
+
+@pytest.fixture(scope="module")
+def x86_synthesis():
+    return CheckPipeline().synthesis("x86", 3)
+
+
+@pytest.fixture(scope="module")
+def x86_jobs(x86_synthesis):
+    tests = [
+        execution_to_litmus(x, f"ckpt-{i}")
+        for i, x in enumerate(x86_synthesis.forbidden + x86_synthesis.allowed)
+    ]
+    return [
+        ("observable", "x86", t.program, t.intended_co) for t in tests
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Digest stability
+# ---------------------------------------------------------------------------
+
+
+def test_digest_is_deterministic_per_process(x86_jobs):
+    assert [job_digest(j) for j in x86_jobs] == [
+        job_digest(j) for j in x86_jobs
+    ]
+
+
+def test_digest_distinguishes_jobs(x86_jobs):
+    digests = {job_digest(j) for j in x86_jobs}
+    assert len(digests) == len(x86_jobs)
+
+
+def test_digest_distinguishes_kind_and_model(x86_synthesis):
+    x = x86_synthesis.forbidden[0]
+    assert job_digest(("consistent", "x86tm", (), x)) != job_digest(
+        ("violated", "x86tm", (), x)
+    )
+    assert job_digest(("consistent", "x86tm", (), x)) != job_digest(
+        ("consistent", "x86", (), x)
+    )
+    assert job_digest(("consistent", "x86tm", (), x)) != job_digest(
+        ("consistent", "x86tm", ("TxnOrder",), x)
+    )
+
+
+def test_canon_rejects_unknown_objects():
+    with pytest.raises(TypeError):
+        _canon(object())
+
+
+_SEED_SNIPPET = """
+import sys
+sys.path.insert(0, "src")
+from repro.enumeration import enumerate_executions, get_config
+from repro.harness.checkpoint import job_digest
+config = get_config("x86")
+for i, x in enumerate(enumerate_executions(config, 2)):
+    print(job_digest(("consistent", "x86tm", (), x)))
+    if i >= 9:
+        break
+"""
+
+
+@pytest.mark.parametrize("seed", ["1", "2"])
+def test_digest_stable_across_hash_seeds(seed):
+    """The digest survives hash randomisation -- the property that makes
+    cross-run resume sound (``hash()``/set iteration order do not)."""
+    runs = [
+        subprocess.run(
+            [sys.executable, "-c", _SEED_SNIPPET],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).resolve().parent.parent,
+            env={"PYTHONHASHSEED": s, "PATH": "/usr/bin:/bin"},
+        ).stdout
+        for s in ("0", seed)
+    ]
+    assert runs[0] == runs[1]
+    assert runs[0].strip()
+
+
+# ---------------------------------------------------------------------------
+# The JSONL store
+# ---------------------------------------------------------------------------
+
+
+def test_store_roundtrip_and_reload(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = CheckpointStore(path)
+    assert store.loaded == 0
+    store.record("d1", True, kind="observable")
+    store.record("d2", ["TxnOrder"], kind="violated")
+    store.close()
+
+    reloaded = CheckpointStore(path)
+    assert reloaded.loaded == 2
+    assert "d1" in reloaded and reloaded.get("d1") is True
+    assert reloaded.get("d2") == ["TxnOrder"]
+    assert "d3" not in reloaded
+
+
+def test_store_tolerates_truncated_last_line(tmp_path):
+    """A crash mid-append leaves a half-written record; reload drops it
+    (that job simply re-runs) instead of failing."""
+    path = tmp_path / "store.jsonl"
+    store = CheckpointStore(path)
+    store.record("d1", True)
+    store.record("d2", False)
+    store.close()
+    text = path.read_text()
+    path.write_text(text + '{"digest": "d3", "kin')  # torn write
+
+    reloaded = CheckpointStore(path)
+    assert len(reloaded) == 2
+    assert "d3" not in reloaded
+    # The store stays appendable after a torn tail.
+    reloaded.record("d4", True)
+    reloaded.close()
+    assert len(CheckpointStore(path)) == 3
+
+
+def test_store_tolerates_blank_lines(tmp_path):
+    path = tmp_path / "store.jsonl"
+    path.write_text('\n{"digest": "d1", "kind": "job", "result": 7}\n\n')
+    assert CheckpointStore(path).get("d1") == 7
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery
+# ---------------------------------------------------------------------------
+
+_BOMB_FUSE = {"remaining": None}
+
+
+def _bomb_run_job(job):
+    """A ``run_job`` stand-in that dies after a set number of calls.
+
+    Module-level (and counting via a module-level fuse) so the pool can
+    pickle it by name; forked workers inherit the fuse and count their
+    own calls, so a fan-out run also dies mid-batch.
+    """
+    if _BOMB_FUSE["remaining"] is not None:
+        if _BOMB_FUSE["remaining"] <= 0:
+            raise RuntimeError("simulated crash")
+        _BOMB_FUSE["remaining"] -= 1
+    return run_job(job)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_crash_midbatch_then_resume_is_identical(
+    tmp_path, monkeypatch, x86_jobs, workers
+):
+    """Kill the pipeline after N jobs, restart from the checkpoint, and
+    the merged results are byte-identical to an uninterrupted run."""
+    if workers > 1:
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+    uninterrupted = CheckPipeline(workers=1).run_jobs(x86_jobs)
+
+    path = tmp_path / f"crash-{workers}.jsonl"
+    monkeypatch.setitem(_BOMB_FUSE, "remaining", len(x86_jobs) // 2)
+    monkeypatch.setattr(pipeline_module, "run_job", _bomb_run_job)
+    with pytest.raises(RuntimeError, match="simulated crash"):
+        with CheckPipeline(workers=workers, checkpoint=path) as dying:
+            dying.run_jobs(x86_jobs)
+
+    recorded = CheckpointStore(path)
+    assert 0 < len(recorded) < len(x86_jobs)
+
+    monkeypatch.setattr(pipeline_module, "run_job", run_job)
+    with CheckPipeline(workers=1, checkpoint=path) as resumed_pipe:
+        resumed = resumed_pipe.run_jobs(x86_jobs)
+    assert json.dumps(resumed) == json.dumps(uninterrupted)
+    # and every job is now on disk, so a further resume is pure replay
+    with CheckPipeline(workers=1, checkpoint=path) as replay_pipe:
+        assert json.dumps(replay_pipe.run_jobs(x86_jobs)) == json.dumps(
+            uninterrupted
+        )
+
+
+def _row_tuples(table):
+    return [
+        (
+            row.events,
+            row.forbid_total,
+            row.forbid_seen,
+            row.allow_total,
+            row.allow_seen,
+        )
+        for row in table.rows
+    ]
+
+
+def test_table1_killed_and_resumed_matches_uninterrupted(
+    tmp_path, monkeypatch, x86_synthesis
+):
+    """The acceptance criterion: a Table 1 run killed mid-batch and
+    restarted from its checkpoint produces identical verdicts, and the
+    stats snapshot shows nonzero cache hit rates and stage timings."""
+    uninterrupted = run_table1("x86", 3, synthesis=x86_synthesis)
+
+    path = tmp_path / "table1.jsonl"
+    monkeypatch.setitem(_BOMB_FUSE, "remaining", 5)
+    monkeypatch.setattr(pipeline_module, "run_job", _bomb_run_job)
+    with pytest.raises(RuntimeError, match="simulated crash"):
+        run_table1("x86", 3, synthesis=x86_synthesis, checkpoint=path)
+    assert len(CheckpointStore(path)) > 0
+
+    monkeypatch.setattr(pipeline_module, "run_job", run_job)
+    reset_observability()
+    resumed = run_table1("x86", 3, synthesis=x86_synthesis, checkpoint=path)
+    assert _row_tuples(resumed) == _row_tuples(uninterrupted)
+    assert resumed.unseen_allow_total == uninterrupted.unseen_allow_total
+
+    stats = stats_snapshot()
+    assert stats["hit_rates"].get("pipeline.checkpoint", 0) > 0
+    job_timer = stats["timers"]["pipeline.job.seconds"]
+    assert job_timer["count"] > 0 and job_timer["total"] > 0
+    assert stats["timers"]["pipeline.batch.seconds"]["count"] > 0

@@ -1,0 +1,227 @@
+"""Property tests for the observability layer.
+
+Two families of invariants:
+
+* **accounting** -- every instrumented cache satisfies
+  ``hits + misses == lookups`` on every path (including uncached
+  fallbacks), and the flush-delta/merge algebra loses nothing: merging a
+  run's deltas reproduces its snapshot.
+* **structure** -- span trees nest exactly as the call tree does, and
+  survive exceptions and resets.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cat import load_cat_model
+from repro.enumeration import enumerate_executions, get_config
+from repro.harness import CheckPipeline, run_table1
+from repro.models import get_model
+from repro.obs import REGISTRY, TRACER, reset_observability, stats_snapshot
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+CACHE_PREFIXES = (
+    "relations.global_intern",
+    "relations.context",
+    "relations.acyclic_cache",
+    "relations.closure_cache",
+    "cat.compile_cache",
+    "pipeline.checkpoint",
+)
+
+
+def _cache_counts(prefix: str) -> tuple[int, int, int]:
+    counters = REGISTRY.snapshot()["counters"]
+    return (
+        counters.get(f"{prefix}.lookups", 0),
+        counters.get(f"{prefix}.hits", 0),
+        counters.get(f"{prefix}.misses", 0),
+    )
+
+
+@pytest.fixture(scope="module")
+def x86_executions():
+    return list(enumerate_executions(get_config("x86"), 3))
+
+
+def test_cache_accounting_balances_after_real_workload(
+    tmp_path, x86_executions
+):
+    """hits + misses == lookups for every instrumented cache, measured
+    as deltas across a workload that exercises them all: model checks
+    (relation caches, compile cache) plus a checkpointed batch."""
+    model = get_model("x86tm")
+    before = {p: _cache_counts(p) for p in CACHE_PREFIXES}
+    for x in x86_executions[:200]:
+        model.consistent(x)
+    load_cat_model("x86tm")
+    with CheckPipeline(checkpoint=tmp_path / "acct.jsonl") as pipe:
+        pipe.consistency_batch("x86tm", x86_executions[:20])
+        pipe.consistency_batch("x86tm", x86_executions[:20])  # replay
+    exercised = 0
+    for prefix in CACHE_PREFIXES:
+        lookups, hits, misses = (
+            after - base
+            for after, base in zip(_cache_counts(prefix), before[prefix])
+        )
+        assert hits + misses == lookups, (prefix, lookups, hits, misses)
+        assert hits >= 0 and misses >= 0
+        if lookups:
+            exercised += 1
+    assert exercised == len(CACHE_PREFIXES)
+
+
+def test_hit_rate_matches_counters(x86_executions):
+    model = get_model("x86tm")
+    for x in x86_executions[:50]:
+        model.consistent(x)
+    lookups, hits, _ = _cache_counts("relations.acyclic_cache")
+    assert lookups > 0
+    assert REGISTRY.hit_rate("relations.acyclic_cache") == pytest.approx(
+        hits / lookups
+    )
+    assert REGISTRY.hit_rate("no.such.cache") is None
+
+
+# ---------------------------------------------------------------------------
+# Flush-delta / merge algebra
+# ---------------------------------------------------------------------------
+
+_events = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("inc"),
+            st.sampled_from(("a", "b", "c")),
+            st.integers(min_value=1, max_value=10),
+        ),
+        st.tuples(
+            st.just("observe"),
+            st.sampled_from(("t1", "t2")),
+            st.floats(min_value=0.0, max_value=5.0),
+        ),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(runs=st.lists(_events, min_size=1, max_size=4))
+def test_merging_flush_deltas_reproduces_snapshot(runs):
+    """A worker that flushes a delta after every batch reports, in
+    total, exactly its final snapshot: merge(deltas) == snapshot."""
+    worker = MetricsRegistry()
+    parent = MetricsRegistry()
+    for events in runs:
+        for kind, name, value in events:
+            if kind == "inc":
+                worker.inc(name, value)
+            else:
+                worker.observe(name, value)
+        parent.merge(worker.flush_delta())
+    merged, direct = parent.snapshot(), worker.snapshot()
+    assert merged["counters"] == direct["counters"]
+    for name, stats in direct["timers"].items():
+        got = merged["timers"][name]
+        assert got["count"] == stats["count"]
+        assert got["total"] == pytest.approx(stats["total"])
+        assert got["max"] == pytest.approx(stats["max"])
+
+
+def test_flush_delta_is_empty_when_nothing_happened():
+    registry = MetricsRegistry()
+    registry.inc("x", 3)
+    registry.flush_delta()
+    delta = registry.flush_delta()
+    assert delta["counters"] == {} and delta["timers"] == {}
+
+
+def test_reset_preserves_bound_metric_objects():
+    """Hot paths bind metric objects once at import; reset must zero
+    them in place, not orphan them (a cleared dict would silently drop
+    every later increment from snapshots)."""
+    registry = MetricsRegistry()
+    counter = registry.counter("bound.counter")
+    timer = registry.timer("bound.timer")
+    counter.inc(7)
+    timer.observe(1.0)
+    registry.reset()
+    assert registry.snapshot()["counters"]["bound.counter"] == 0
+    counter.inc(2)
+    timer.observe(0.5)
+    snap = registry.snapshot()
+    assert snap["counters"]["bound.counter"] == 2
+    assert snap["timers"]["bound.timer"]["count"] == 1
+    assert registry.counter("bound.counter") is counter
+
+
+# ---------------------------------------------------------------------------
+# Span trees
+# ---------------------------------------------------------------------------
+
+
+def _span_names(spans):
+    return {s["name"] for s in spans}
+
+
+def _find(spans, name):
+    for span in spans:
+        if span["name"] == name:
+            return span
+    raise AssertionError(f"no span named {name!r} in {_span_names(spans)}")
+
+
+def test_span_tree_nests_under_nested_pipeline_calls(x86_executions):
+    """A driver run produces one root span whose children mirror the
+    call tree: table1 -> synthesis -> per-bound spans, plus the
+    pipeline batches."""
+    reset_observability()
+    run_table1("x86", 3)
+    roots = TRACER.snapshot()
+    table1 = _find(roots, "table1:x86")
+    synthesis = _find(table1["children"], "synthesis:x86")
+    assert "synthesis:x86:bound3" in _span_names(synthesis["children"])
+    batches = [
+        c for c in table1["children"] if c["name"] == "pipeline.batch"
+    ]
+    assert batches, "pipeline batches must nest under the driver span"
+    for span in batches:
+        assert span["elapsed"] >= 0.0
+    # spans also land in the stats dump
+    assert "table1:x86" in _span_names(stats_snapshot()["spans"])
+
+
+def test_spans_close_on_exception_and_stay_balanced():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise ValueError("boom")
+    roots = tracer.snapshot()
+    outer = _find(roots, "outer")
+    assert _span_names(outer["children"]) == {"inner"}
+    assert tracer.current() is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(depth=st.integers(min_value=1, max_value=12))
+def test_span_nesting_depth_matches_call_depth(depth):
+    tracer = Tracer()
+
+    def recurse(levels: int) -> None:
+        if levels == 0:
+            return
+        with tracer.span(f"level{levels}"):
+            recurse(levels - 1)
+
+    recurse(depth)
+    spans = tracer.snapshot()
+    seen = 0
+    while spans:
+        assert len(spans) == 1
+        seen += 1
+        spans = spans[0]["children"]
+    assert seen == depth
