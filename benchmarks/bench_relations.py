@@ -3,20 +3,20 @@
 BENCH_relations.json.
 
 Times the Table 1 pipeline (synthesis + hardware validation) for each
-architecture with a fused consistency kernel -- x86, Power, and ARMv8 --
-and appends one timestamped entry per architecture to
-``BENCH_relations.json`` at the repo root, so the performance trajectory
-stays visible per-architecture across PRs.  The synthesis phase is the
-workload that exercises the relation-algebra kernels hardest: Power runs
-the herding-cats ``ppo`` fixpoint plus three reflexive-transitive
-closures per candidate, ARMv8 the fused ``ob`` kernel.
+architecture -- SC, x86, Power, and ARMv8 -- and appends one timestamped
+entry per architecture to ``BENCH_relations.json`` at the repo root, so
+the performance trajectory stays visible per-architecture across PRs.
+The synthesis phase is the workload that exercises the relation-algebra
+IR executor hardest: Power runs the herding-cats ``ppo`` fixpoint plus
+three reflexive-transitive closures per candidate, ARMv8 the large ``ob``
+union.
 
 Run:  PYTHONPATH=src python benchmarks/bench_relations.py [label]
 
 Environment:
     REPRO_BENCH_EVENTS   event bound for the synthesis runs (default 3)
-    REPRO_BENCH_ARCHES   comma-separated subset of x86,power,armv8
-                         (default: all three)
+    REPRO_BENCH_ARCHES   comma-separated subset of sc,x86,power,armv8
+                         (default: all four)
 """
 
 from __future__ import annotations
@@ -35,7 +35,7 @@ from repro.enumeration import synthesise  # noqa: E402
 from repro.harness import CheckPipeline, run_table1  # noqa: E402
 
 RESULTS_FILE = REPO_ROOT / "BENCH_relations.json"
-DEFAULT_ARCHES = ("x86", "power", "armv8")
+DEFAULT_ARCHES = ("sc", "x86", "power", "armv8")
 
 
 def bench(arch: str, bound: int) -> dict:

@@ -15,26 +15,23 @@ Two execution strategies share these semantics:
 
 * :class:`Evaluator` -- a straightforward AST walker, used for one-off
   runs and as the readable reference.
-* the **compiled** path used by :class:`CatModel` -- each model's AST is
-  translated once into a tree of Python closures
-  (:func:`_compile_model`, cached per parsed model), and ``let``
-  bindings whose free identifiers are all skeleton-static (``po``,
-  ``sloc``, ``stxn``, fences, ... -- not ``rf``/``co``-derived) are
-  interned in the execution's :class:`~repro.relations.RelationContext`
-  under ``static:``-prefixed keys, so candidate enumeration shares them
-  across one skeleton's rf/co completions through the same cache
-  adoption machinery as the native models.
+* the **lowered** path used by :class:`CatModel` -- each model's AST is
+  lowered once into the relational-algebra IR (:mod:`repro.ir`) by
+  :func:`_compile_model` (cached per parsed model) and executed by the
+  same planner/executor as the native Python models.  Hash-consing
+  makes a ``.cat`` twin's terms unify with its Python twin's wherever
+  they are written the same way, so the two front ends literally share
+  derived-relation values, ``static:`` interning, and per-constraint
+  verdicts on each execution.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
-
 from ..events import Execution
-from ..models.base import AxiomThunk, MemoryModel
+from ..models.base import IRModel
 from ..obs import REGISTRY
 from ..relations import Relation
+from .. import ir
 from .ast import (
     Call,
     Check,
@@ -254,332 +251,164 @@ class Evaluator:
 
 
 # ---------------------------------------------------------------------------
-# The compiled path: AST → closures, once per parsed model
+# The lowered path: AST → IR plan, once per parsed model
 # ---------------------------------------------------------------------------
 
-#: A compiled expression: ``fn(env, functions, execution) → Value``.
-CompiledExpr = Callable[[dict, dict, Execution], Value]
+#: Builtin function identifiers, mapped to IR combinators.  The IR
+#: builders carry the same kind discipline as the runtime builtins, so
+#: misuse surfaces as a CatTypeError at lowering time.
+_IR_FUNCTIONS = {
+    "weaklift": ir.weaklift,
+    "stronglift": ir.stronglift,
+    "cross": ir.cross,
+    "domain": ir.domain,
+    "range": ir.range_,
+}
 
 
-def _compile_expr(expr: Expr) -> tuple[CompiledExpr, frozenset[str]]:
-    """Translate an expression into a closure plus its free identifiers.
+def _base_term_env() -> dict[str, ir.Term]:
+    """The builtin identifier environment as IR leaves.  The vocabulary
+    is exactly :data:`repro.cat.stdlib`'s: every base relation and event
+    set the runtime environment provides has an IR leaf of the same
+    name."""
+    env: dict[str, ir.Term] = {
+        name: ir.rel(name) for name in ir.BASE_RELATIONS
+    }
+    env.update({name: ir.evset(name) for name in ir.EVENT_SETS})
+    return env
 
-    The closure performs exactly the :meth:`Evaluator.eval` semantics
-    (including the type errors) without re-dispatching on AST node types
-    at every evaluation.
+
+def _lower_expr(expr: Expr, env: dict[str, ir.Term]) -> ir.Term:
+    """Translate an expression into a hash-consed IR term.
+
+    Name resolution and kind checking happen here, once per model,
+    instead of on every evaluation; the error classes and message texts
+    are the :class:`Evaluator`'s.
     """
     if isinstance(expr, Ident):
-        name = expr.name
-
-        def fn_ident(env, functions, x):
-            try:
-                return env[name]
-            except KeyError:
-                raise CatNameError(f"undefined identifier {name!r}") from None
-
-        return fn_ident, frozenset((name,))
+        term = env.get(expr.name)
+        if term is None:
+            raise CatNameError(f"undefined identifier {expr.name!r}")
+        return term
     if isinstance(expr, EmptyRel):
-        return (lambda env, functions, x: Relation.empty(x.eids)), frozenset()
-    if isinstance(expr, (Union, Inter, Diff)):
-        left, left_ids = _compile_expr(expr.left)
-        right, right_ids = _compile_expr(expr.right)
-        if isinstance(expr, Union):
-            op, name = "|", "union"
-        elif isinstance(expr, Inter):
-            op, name = "&", "intersection"
-        else:
-            op, name = "-", "difference"
-
-        def fn_binary(env, functions, x):
-            lhs = left(env, functions, x)
-            rhs = right(env, functions, x)
-            if isinstance(lhs, Relation) != isinstance(rhs, Relation):
-                raise CatTypeError(f"{name} of a set and a relation")
-            if op == "|":
-                return lhs | rhs
-            if op == "&":
-                return lhs & rhs
-            return lhs - rhs
-
-        return fn_binary, left_ids | right_ids
+        return ir.empty("rel")
+    if isinstance(expr, Union):
+        return ir.union(_lower_expr(expr.left, env), _lower_expr(expr.right, env))
+    if isinstance(expr, Inter):
+        return ir.inter(_lower_expr(expr.left, env), _lower_expr(expr.right, env))
+    if isinstance(expr, Diff):
+        return ir.diff(_lower_expr(expr.left, env), _lower_expr(expr.right, env))
     if isinstance(expr, Seq):
-        left, left_ids = _compile_expr(expr.left)
-        right, right_ids = _compile_expr(expr.right)
-
-        def fn_seq(env, functions, x):
-            return _require_relation(left(env, functions, x), ";").compose(
-                _require_relation(right(env, functions, x), ";")
-            )
-
-        return fn_seq, left_ids | right_ids
-    if isinstance(
-        expr, (TransClosure, ReflTransClosure, Optional, Inverse, Complement)
-    ):
-        operand, ids = _compile_expr(expr.operand)
-        symbol = {
-            TransClosure: "+",
-            ReflTransClosure: "*",
-            Optional: "?",
-            Inverse: "^-1",
-            Complement: "~",
-        }[type(expr)]
-        method = {
-            TransClosure: Relation.transitive_closure,
-            ReflTransClosure: Relation.reflexive_transitive_closure,
-            Optional: Relation.optional,
-            Inverse: Relation.inverse,
-            Complement: Relation.__invert__,
-        }[type(expr)]
-
-        def fn_unary(env, functions, x):
-            return method(_require_relation(operand(env, functions, x), symbol))
-
-        return fn_unary, ids
+        return ir.seq(_lower_expr(expr.left, env), _lower_expr(expr.right, env))
+    if isinstance(expr, TransClosure):
+        return ir.plus(_lower_expr(expr.operand, env))
+    if isinstance(expr, ReflTransClosure):
+        return ir.star(_lower_expr(expr.operand, env))
+    if isinstance(expr, Optional):
+        return ir.opt(_lower_expr(expr.operand, env))
+    if isinstance(expr, Inverse):
+        return ir.inv(_lower_expr(expr.operand, env))
+    if isinstance(expr, Complement):
+        return ir.comp(_lower_expr(expr.operand, env))
     if isinstance(expr, SetToRel):
-        operand, ids = _compile_expr(expr.operand)
-
-        def fn_set_to_rel(env, functions, x):
-            elements = _require_set(operand(env, functions, x), "[·]")
-            return Relation.from_set(elements, x.eids)
-
-        return fn_set_to_rel, ids
+        return ir.setrel(_lower_expr(expr.operand, env))
     if isinstance(expr, Call):
-        function = expr.function
-        compiled_args = [_compile_expr(a) for a in expr.arguments]
-        arg_fns = [fn for fn, _ in compiled_args]
-        ids = frozenset().union(*(ids for _, ids in compiled_args))
-
-        def fn_call(env, functions, x):
-            if function not in functions:
-                raise CatNameError(f"undefined function {function!r}")
-            return functions[function](
-                *[arg(env, functions, x) for arg in arg_fns]
-            )
-
-        return fn_call, ids
+        fn = _IR_FUNCTIONS.get(expr.function)
+        if fn is None:
+            raise CatNameError(f"undefined function {expr.function!r}")
+        return fn(*[_lower_expr(a, env) for a in expr.arguments])
     raise TypeError(f"unknown expression {expr!r}")
 
 
-#: Identifiers whose values depend only on the execution *skeleton*
-#: (events, threads, dependencies, transaction structure) -- never on
-#: the rf/co completion.  Bindings built purely from these are interned
-#: under ``static:`` context keys and flow across a skeleton's
-#: completions via ``Execution.adopt_skeleton_caches``.
-_STATIC_IDENTS = frozenset(
-    {
-        "EV", "R", "W", "F", "M", "ACQ", "REL", "SC", "ATO", "NA", "WEX", "LKD",
-        "id", "po", "poimm", "poloc", "sloc", "addr", "ctrl", "data", "rmw",
-        "deps", "stxn", "stxnat", "tfence", "mfence", "sync", "lwsync",
-        "isync", "dmb", "dmbld", "dmbst", "isb",
-    }
-)
+def _lower_let(let: Let, env: dict[str, ir.Term]) -> None:
+    """Bind a let statement's names to terms (in ``env``, mutated)."""
+    if not let.recursive:
+        for binding in let.bindings:
+            env[binding.name] = _lower_expr(binding.value, env)
+        return
+    # A let rec group becomes one IR fixpoint group: each binding is a
+    # de Bruijn variable inside the bodies, and the executor runs the
+    # same kind-seeded Kleene iteration as the walker (with the group's
+    # result interned across executions on its input values).
+    seeds = _rec_seed_kinds(
+        let.bindings, {name: term.kind for name, term in env.items()}
+    )
+    kinds = [seeds[b.name] for b in let.bindings]
+    rec_env = dict(env)
+    for index, binding in enumerate(let.bindings):
+        rec_env[binding.name] = ir.var(index, kinds[index])
+    bodies = [_lower_expr(b.value, rec_env) for b in let.bindings]
+    fixes = ir.fix(bodies, kinds)
+    for binding, fixed in zip(let.bindings, fixes):
+        env[binding.name] = fixed
 
 
-@dataclass
-class _CompiledBinding:
-    name: str
-    fn: CompiledExpr
-    value: Expr  # the source expression, kept for let-rec kind inference
+_CHECK_BUILDERS = {
+    "acyclic": ir.acyclic,
+    "irreflexive": ir.irreflexive,
+    "empty": ir.empty_c,
+}
 
-
-@dataclass
-class _CompiledLet:
-    index: int
-    recursive: bool
-    bindings: list[_CompiledBinding]
-    static: bool
-
-
-@dataclass
-class _CompiledCheck:
-    name: str
-    kind: str
-    fn: CompiledExpr
-
-
-#: Compiled programs, keyed by the (hashable, structurally-compared)
-#: parsed model, so every CatModel over the same AST -- including
-#: repeated ``load_cat_model`` calls -- shares one compilation and one
-#: ``static:`` cache namespace.
-_COMPILED_CACHE: dict[Model, tuple[list, str]] = {}
+#: Lowered plans, keyed by the (hashable, structurally-compared) parsed
+#: model, so every CatModel over the same AST -- including repeated
+#: ``load_cat_model`` calls -- shares one plan, one term DAG, and
+#: therefore one set of per-execution caches.
+_COMPILED_CACHE: dict[Model, ir.Plan] = {}
 
 _COMPILE_LOOKUPS = REGISTRY.counter("cat.compile_cache.lookups")
 _COMPILE_HITS = REGISTRY.counter("cat.compile_cache.hits")
 _COMPILE_MISSES = REGISTRY.counter("cat.compile_cache.misses")
 
 
-def _compile_model(model: Model) -> tuple[list, str]:
+def _compile_model(model: Model) -> ir.Plan:
+    """Lower a parsed model into an IR constraint plan (cached).
+
+    Terms are hash-consed globally, so wherever a ``.cat`` model writes
+    the same derived relation as a native Python model (or another cat
+    model), the two share one term -- and with it the per-execution
+    value memo, the ``static:`` interning, and the constraint verdict.
+    """
     _COMPILE_LOOKUPS.inc()
     cached = _COMPILED_CACHE.get(model)
     if cached is not None:
         _COMPILE_HITS.inc()
         return cached
     _COMPILE_MISSES.inc()
-    steps: list[_CompiledLet | _CompiledCheck] = []
-    static_names = set(_STATIC_IDENTS)
-    let_index = 0
-    for statement in model.statements:
-        if isinstance(statement, Let):
-            bindings = []
-            free: set[str] = set()
-            for binding in statement.bindings:
-                fn, ids = _compile_expr(binding.value)
-                bindings.append(_CompiledBinding(binding.name, fn, binding.value))
-                free |= ids
-            own = {b.name for b in statement.bindings}
-            is_static = (free - own) <= static_names
-            if is_static:
-                static_names |= own
+    env = _base_term_env()
+    constraints: list[ir.Constraint] = []
+    try:
+        for statement in model.statements:
+            if isinstance(statement, Let):
+                _lower_let(statement, env)
             else:
-                # A dynamic let may *shadow* a static name (even a
-                # builtin); later bindings reading it are dynamic too.
-                static_names -= own
-            steps.append(
-                _CompiledLet(let_index, statement.recursive, bindings, is_static)
-            )
-            let_index += 1
-        else:
-            fn, _ = _compile_expr(statement.expr)
-            steps.append(_CompiledCheck(statement.name, statement.kind, fn))
-    namespace = f"cat.{model.name}.{len(_COMPILED_CACHE)}"
-    _COMPILED_CACHE[model] = (steps, namespace)
-    return steps, namespace
-
-
-_LET_STATIC_REQUESTS = REGISTRY.counter("cat.let.static_requests")
-_LET_STATIC_EVALS = REGISTRY.counter("cat.let.static_evals")
-_LET_DYNAMIC_EVALS = REGISTRY.counter("cat.let.dynamic_evals")
-
-
-class _CompiledRun:
-    """One model's lazily-executed statement sequence over one execution."""
-
-    __slots__ = ("execution", "env", "functions", "namespace")
-
-    def __init__(self, namespace: str, execution: Execution):
-        ctx = execution.context
-        self.execution = execution
-        self.env: dict[str, Value] = dict(ctx.cat_environment())
-        self.functions = ctx.cat_functions()
-        self.namespace = namespace
-
-    def let_runner(self, step: _CompiledLet) -> Callable[[], bool]:
-        done = False
-
-        def run() -> bool:
-            nonlocal done
-            if not done:
-                self.execute_let(step)
-                done = True
-            return True
-
-        return run
-
-    def execute_let(self, step: _CompiledLet) -> None:
-        if step.static:
-            # Skeleton-static group: interned per execution and adopted
-            # across a skeleton's rf/co completions.  The requests/evals
-            # gap is how many evaluations the static: interning saved.
-            _LET_STATIC_REQUESTS.inc()
-            key = f"static:{self.namespace}.let{step.index}"
-            self.env.update(
-                self.execution.context.get(
-                    key,
-                    lambda: (_LET_STATIC_EVALS.inc(), self._eval_let(step))[1],
+                constraints.append(
+                    _CHECK_BUILDERS[statement.kind](
+                        statement.name, _lower_expr(statement.expr, env)
+                    )
                 )
-            )
-        else:
-            _LET_DYNAMIC_EVALS.inc()
-            self.env.update(self._eval_let(step))
-
-    def _eval_let(self, step: _CompiledLet) -> dict[str, Value]:
-        env, functions, x = self.env, self.functions, self.execution
-        out: dict[str, Value] = {}
-        if not step.recursive:
-            for binding in step.bindings:
-                value = binding.fn(env, functions, x)
-                env[binding.name] = value
-                out[binding.name] = value
-            return out
-        # Kleene iteration, seeded from each binding's inferred kind.
-        seeds = _rec_seed_kinds(
-            [b for b in step.bindings], _kinds_of_env(env)
-        )
-        empty_rel = Relation.empty(x.eids)
-        for binding in step.bindings:
-            env[binding.name] = (
-                empty_rel if seeds[binding.name] == "rel" else frozenset()
-            )
-        while True:
-            changed = False
-            new_values = {
-                binding.name: binding.fn(env, functions, x)
-                for binding in step.bindings
-            }
-            for name, value in new_values.items():
-                if env[name] != value:
-                    changed = True
-                env[name] = value
-            if not changed:
-                break
-        for binding in step.bindings:
-            out[binding.name] = env[binding.name]
-        return out
-
-    def check(self, step: _CompiledCheck) -> bool:
-        value = _require_relation(
-            self.fn_value(step), step.kind
-        )
-        if step.kind == "acyclic":
-            return value.is_acyclic()
-        if step.kind == "irreflexive":
-            return value.is_irreflexive()
-        if step.kind == "empty":
-            return value.is_empty()
-        raise ValueError(f"unknown check kind {step.kind!r}")
-
-    def fn_value(self, step: _CompiledCheck) -> Value:
-        return step.fn(self.env, self.functions, self.execution)
+    except ir.IRTypeError as exc:
+        # The IR builders use the evaluator's message texts verbatim.
+        raise CatTypeError(str(exc)) from None
+    plan = ir.compile_model(model.name, constraints)
+    _COMPILED_CACHE[model] = plan
+    return plan
 
 
-class CatModel(MemoryModel):
+class CatModel(IRModel):
     """A parsed cat model exposed through the MemoryModel interface, so
     cat-defined and native models are interchangeable everywhere.
 
-    The AST is compiled to closures once per parsed model (shared across
-    instances over equal ASTs); each ``axiom_thunks`` call creates only
-    a lightweight :class:`_CompiledRun` over the execution's interned
-    environment instead of a fresh AST-walking evaluator.
+    The AST is lowered to an IR plan once per parsed model (shared
+    across instances over equal ASTs); consistency checks, axiom thunks
+    and diagnostics all run on the shared IR executor, exactly like the
+    native models'.
     """
 
     def __init__(self, model: Model, transactional: bool = True):
         self.model = model
         self.name = model.name
         self.is_transactional = transactional
-        self._steps, self._namespace = _compile_model(model)
+        self._plan = _compile_model(model)
 
-    def axiom_thunks(self, execution: Execution) -> list[AxiomThunk]:
-        run = _CompiledRun(self._namespace, execution)
-        thunks: list[AxiomThunk] = []
-        for step in self._steps:
-            if isinstance(step, _CompiledLet):
-                # Bindings execute lazily, in order, the first time an
-                # axiom thunk after them runs.
-                thunks.append((f"__let_{step.index}", run.let_runner(step)))
-            else:
-                thunks.append(
-                    (step.name, lambda step=step: run.check(step))
-                )
-        # Let-runners always "pass"; filter them out of reported names by
-        # keeping them but returning True.
-        return thunks
-
-    def violated_axioms(self, execution: Execution) -> list[str]:
-        violated: list[str] = []
-        for name, thunk in self.axiom_thunks(execution):
-            ok = thunk()  # let-runners must execute even when skipped below
-            if not ok and not name.startswith("__let_"):
-                violated.append(name)
-        return violated
-
-
+    def plan(self) -> ir.Plan:
+        return self._plan

@@ -223,6 +223,11 @@ class Execution:
         return tuple(e.kind for e in self.events)
 
     @cached_property
+    def _tag_key(self) -> tuple:
+        """Per-event mode tags (acquire/release/SC/fence flavours)."""
+        return tuple(tuple(sorted(e.tags)) for e in self.events)
+
+    @cached_property
     def _txn_key(self) -> tuple:
         return tuple(sorted(self.txn_of.items()))
 
@@ -594,6 +599,7 @@ class Execution:
         "_intern_uid",
         "_loc_key",
         "_kind_key",
+        "_tag_key",
         "_txn_key",
         "reads",
         "writes",
@@ -781,6 +787,17 @@ class Execution:
 
     def __hash__(self) -> int:
         return hash(self.fingerprint())
+
+    def __getstate__(self) -> dict:
+        # The IR evaluation state must not ride along: its __reduce__
+        # rebuilds via _State(x), whose constructor reads execution
+        # attributes -- during *unpickling* the owning execution is
+        # still half-built, so a worker process would die mid-load
+        # (and a dead pool worker hangs imap forever).  It is a pure
+        # cache; the receiving process rebuilds it on first use.
+        state = self.__dict__.copy()
+        state.pop("_ir_state", None)
+        return state
 
     # ------------------------------------------------------------------
     # Pretty-printing

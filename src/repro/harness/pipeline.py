@@ -64,6 +64,12 @@ def hardware_for(arch: str):
             machine = OracleHardware.power8(get_model("powertm"))
         elif arch == "armv8":
             machine = OracleHardware(get_model("armv8tm"), name="ARM-sim")
+        elif arch == "sc":
+            # Idealised sequentially-consistent machine: the TSC model
+            # itself plays the hardware oracle, so the SC/TSC rows of
+            # Table 1 can run through the same pipeline as the relaxed
+            # architectures.
+            machine = OracleHardware(get_model("tsc"), name="SC-sim")
         else:
             raise ValueError(f"no simulated hardware for {arch!r}")
         _HARDWARE_CACHE[arch] = machine

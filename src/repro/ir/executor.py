@@ -1,0 +1,868 @@
+"""The IR executor: evaluates plans over executions at bitset-row level.
+
+One engine replaces the three historical consistency paths (generic
+``axiom_thunks``, per-architecture hand-fused kernels, compiled ``.cat``
+closures).  The executor works directly over adjacency-bitset rows
+(``tuple[int, ...]``) and set masks (``int``) -- no intermediate
+:class:`~repro.relations.Relation` objects on the hot path -- with four
+layers of caching, all derived mechanically from term structure:
+
+* **per-execution memo** -- every node value is stored under its term
+  ``uid`` in a dict living in the execution's
+  :class:`~repro.relations.RelationContext`, so axioms (and different
+  models checking the same execution) share subterm values;
+* **skeleton adoption** -- static nodes are fetched through
+  ``context.get("static:ir.n{uid}", ...)``, the prefix
+  :meth:`Execution.adopt_skeleton_caches` copies across rf/co
+  completions of one skeleton;
+* **cross-execution interning** -- a static node's value is a pure
+  function of its base-leaf rows, so it is resolved through
+  :func:`~repro.relations.context.global_intern` keyed on those rows;
+  fixpoint groups are interned the same way, keyed on their
+  variable-free input values (generalising the hand-written Power
+  ``ppo`` row cache);
+* **verdict caches** -- acyclicity goes through
+  :func:`acyclic_rows_cached`, and per-constraint verdicts are memoised
+  per execution.
+
+Evaluation short-circuits on empty operands (an empty left factor kills
+a composition without touching the right factor; an empty accumulator
+kills an intersection), which is how the old hand-fused kernels skipped
+transactional machinery on transaction-free executions -- here it falls
+out of the algebra.  Constraints run in the plan's cheapest-first order
+with early exit (counted by ``ir.exec.constraint_short_circuits``).
+
+Executions whose primitive relations live in mixed universes
+(hand-built tests) cannot be row-aligned; the executor transparently
+falls back to a Relation-level evaluation of the same terms, which is
+also the reference implementation the property tests compare against.
+
+Set ``REPRO_IR_PROFILE=1`` to record per-constraint and per-node-kind
+timers (``ir.constraint.*``, ``ir.node.*``) at some hot-path cost.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from operator import and_ as _and, or_ as _or
+
+from ..events import NA as _NA_TAG
+from ..obs import REGISTRY
+from ..relations import Relation
+from ..relations.context import RelationContext, global_intern
+from ..relations.relation import (
+    _universe,
+    acyclic_rows_cached,
+    closure_rows_cached,
+    compose_rows,
+    rtc_rows_cached,
+    transpose_rows,
+)
+from .plan import Constraint, Plan
+from .terms import Term
+
+_NODE_EVALS = REGISTRY.counter("ir.exec.node_evals")
+_NODE_HITS = REGISTRY.counter("ir.exec.node_cache_hits")
+_SHORT_CIRCUITS = REGISTRY.counter("ir.exec.constraint_short_circuits")
+_FALLBACKS = REGISTRY.counter("ir.exec.relation_fallbacks")
+_FAST_RUNS = REGISTRY.counter("ir.exec.compiled_runs")
+
+_PROFILE = bool(os.environ.get("REPRO_IR_PROFILE"))
+
+_MISS = object()
+
+
+class _Misaligned(Exception):
+    """A base relation's universe cannot be aligned with the execution's
+    event universe (hand-built executions): use the Relation fallback."""
+
+
+#: Base-relation name → Execution attribute (identical to the cat
+#: stdlib's environment; ``id`` is synthesised from the universe).
+_REL_ATTRS = {
+    "po": "po",
+    "poimm": "po_imm",
+    "poloc": "poloc",
+    "sloc": "sloc",
+    "rf": "rf",
+    "rfe": "rfe",
+    "rfi": "rfi",
+    "co": "co",
+    "coe": "coe",
+    "coi": "coi",
+    "fr": "fr",
+    "fre": "fre",
+    "fri": "fri",
+    "com": "com",
+    "come": "come",
+    "addr": "addr",
+    "ctrl": "ctrl",
+    "data": "data",
+    "rmw": "rmw",
+    "deps": "deps",
+    "stxn": "stxn",
+    "stxnat": "stxnat",
+    "tfence": "tfence",
+    "mfence": "mfence",
+    "sync": "sync",
+    "lwsync": "lwsync",
+    "isync": "isync",
+    "dmb": "dmb",
+    "dmbld": "dmbld",
+    "dmbst": "dmbst",
+    "isb": "isb",
+}
+
+#: Event-set name → value (identical to the cat stdlib's environment).
+_SET_FNS = {
+    "EV": lambda x: x.eids,
+    "R": lambda x: x.reads,
+    "W": lambda x: x.writes,
+    "F": lambda x: x.fences,
+    "M": lambda x: x.memory_events,
+    "ACQ": lambda x: x.acq,
+    "REL": lambda x: x.rel,
+    "SC": lambda x: x.sc_events,
+    "ATO": lambda x: x.atomics,
+    "NA": lambda x: frozenset(
+        e.eid for e in x.events if e.is_memory_access and _NA_TAG in e.tags
+    ),
+    "WEX": lambda x: x.rmw.range(),
+    "LKD": lambda x: x.rmw.domain() | x.rmw.range(),
+}
+
+
+# ---------------------------------------------------------------------------
+# Per-execution evaluation state
+# ---------------------------------------------------------------------------
+
+
+#: Per-interned-universe (n, zero, id_rows) -- every candidate execution
+#: of a synthesis run shares one universe, so _State construction should
+#: not rebuild these tuples 10^4 times.  Keyed on id(): interned
+#: universes are immortal for the process (the intern table holds them).
+_UNI_CONSTS: dict[int, tuple] = {}
+
+
+class _State:
+    """Row-level evaluation state for one execution, cached on the
+    execution object itself (like its ``RelationContext``)."""
+
+    __slots__ = ("x", "_ctx", "uni", "n", "zero", "id_rows", "vals", "_rels")
+
+    def __init__(self, x):
+        self.x = x
+        self._ctx = None
+        uni = _universe(frozenset(x.eids))
+        self.uni = uni
+        consts = _UNI_CONSTS.get(id(uni)) if uni.interned else None
+        if consts is None:
+            n = len(uni.elements)
+            consts = (n, (0,) * n, tuple(1 << i for i in range(n)))
+            if uni.interned and len(_UNI_CONSTS) < 1 << 12:
+                _UNI_CONSTS[id(uni)] = consts
+        self.n, self.zero, self.id_rows = consts
+        #: term uid → rows tuple / set mask (plus verdict and fix-group
+        #: entries under tuple keys).  Dynamic values persist for the
+        #: execution's lifetime, so every plan touching the same term
+        #: shares one evaluation.
+        self.vals: dict = {}
+        #: term uid → materialised Relation/frozenset (for `evaluate`);
+        #: built lazily, most states never materialise anything.
+        self._rels: dict | None = None
+
+    @property
+    def ctx(self) -> RelationContext:
+        ctx = self._ctx
+        if ctx is None:
+            ctx = self._ctx = RelationContext.of(self.x)
+        return ctx
+
+    @property
+    def rels(self) -> dict:
+        rels = self._rels
+        if rels is None:
+            rels = self._rels = {}
+        return rels
+
+    def __reduce__(self):
+        # A cache: serialise as "rebuild empty for this execution" so
+        # checkpoints stay small (mirrors RelationContext.__reduce__).
+        return (_state, (self.x,))
+
+
+def _state(x) -> _State:
+    own = x.__dict__
+    st = own.get("_ir_state")
+    if st is None:
+        st = own["_ir_state"] = _State(x)
+    return st
+
+
+# ---------------------------------------------------------------------------
+# Row-level term evaluation
+# ---------------------------------------------------------------------------
+
+
+def _eval(st: _State, t: Term):
+    vals = st.vals
+    v = vals.get(t.uid, _MISS)
+    if v is not _MISS:
+        _NODE_HITS.inc()
+        return v
+    if t.intern_root:
+        v = _static_fetch(st, t)
+    elif t.op == "fix":
+        v = _eval_fix(st, t)
+    else:
+        v = _compute(st, t)
+    vals[t.uid] = v
+    return v
+
+
+def _static_fetch(st: _State, t: Term):
+    # Routed through the context (counted, and the ``static:`` prefix
+    # makes the entry ride ``adopt_skeleton_caches``), then through the
+    # global intern table keyed on the leaf values the node is a pure
+    # function of.
+    return st.ctx.get(t.skey, lambda: _intern_static(st, t))
+
+
+#: Structural-dependency tag → cheap cached key component (see
+#: ``terms._LEAF_SDEPS``).  ``_intern_uid`` pins the interned universe
+#: (hence the bit indexing), so these only need to pin the structural
+#: facts the node's leaves derive from.
+_SDEP_FETCH = {
+    "threads": lambda x: x.threads,
+    "locs": lambda x: x._loc_key,
+    "kinds": lambda x: x._kind_key,
+    "tags": lambda x: x._tag_key,
+    "txn": lambda x: x._txn_key,
+    "atxn": lambda x: tuple(sorted(x.atomic_txns)),
+    "addr": lambda x: x.addr._rows,
+    "ctrl": lambda x: x.ctrl._rows,
+    "data": lambda x: x.data._rows,
+    "rmw": lambda x: x.rmw._rows,
+}
+
+
+def _intern_static(st: _State, t: Term):
+    # A static node's value is a pure function of the universe indexing
+    # plus the structural facts its leaves derive from; the key is
+    # assembled from those (cheap, already-cached) structural tuples --
+    # never from the leaf values, which would have to be materialised
+    # just to build a key for a table hit.
+    x = st.x
+    key = ("irs", t.uid, x._intern_uid) + tuple(
+        _SDEP_FETCH[dep](x) for dep in t.sdeps
+    )
+    return global_intern(key, lambda: _compute(st, t))
+
+
+def _eval_fix(st: _State, t: Term):
+    group = t.group
+    gkey = ("g", group.uid)
+    results = st.vals.get(gkey, _MISS)
+    if results is _MISS:
+        invals = tuple(_eval(st, inp) for inp in group.inputs)
+        results = global_intern(
+            ("irfix", group.uid, st.n) + invals,
+            lambda: _fix_iterate(st, group),
+        )
+        st.vals[gkey] = results
+    return results[t.args[1]]
+
+
+def _fix_iterate(st: _State, group) -> tuple:
+    """Kleene iteration from the kind-appropriate bottoms (the same
+    Jacobi scheme as the cat evaluator's ``let rec`` loop)."""
+    cur = [st.zero if kind == "rel" else 0 for kind in group.kinds]
+    bodies = group.bodies
+    while True:
+        memo: dict = {}
+        nxt = [_eval_open(st, body, cur, memo) for body in bodies]
+        if nxt == cur:
+            return tuple(nxt)
+        cur = nxt
+
+
+def _eval_open(st: _State, t: Term, varvals: list, memo: dict):
+    """Evaluate inside a fix iteration: variables resolve to the current
+    iterate, and variable-containing nodes memoise per *iteration* (their
+    value changes between rounds); variable-free subterms route to the
+    ordinary persistent evaluator."""
+    if not t.has_var:
+        return _eval(st, t)
+    if t.op == "var":
+        return varvals[t.args[0]]
+    v = memo.get(t.uid, _MISS)
+    if v is not _MISS:
+        return v
+    v = _apply(st, t, lambda child: _eval_open(st, child, varvals, memo))
+    memo[t.uid] = v
+    return v
+
+
+def _base_rows(st: _State, name: str):
+    if name == "id":
+        return st.id_rows
+    relation = getattr(st.x, _REL_ATTRS[name])
+    if relation._uni is st.uni:
+        return relation._rows
+    try:
+        return tuple(relation._realigned_rows(st.uni))
+    except KeyError:
+        raise _Misaligned(name) from None
+
+
+def _set_mask(st: _State, name: str) -> int:
+    index = st.uni.index
+    mask = 0
+    for eid in _SET_FNS[name](st.x):
+        i = index.get(eid)
+        if i is None:
+            raise _Misaligned(name)
+        mask |= 1 << i
+    return mask
+
+
+def _compute(st: _State, t: Term):
+    """Compute one node from its children on the persistent path.
+
+    This is the hot-loop twin of :func:`_apply` (which keeps the same op
+    semantics for the *open* evaluator inside fix iterations): children
+    recurse straight into :func:`_eval` and the n-ary folds run through
+    C-level ``map``.  Any semantic change here must be mirrored in
+    ``_apply`` -- the property tests compare both against the
+    Relation-level reference."""
+    _NODE_EVALS.inc()
+    op = t.op
+    args = t.args
+    if op == "base":
+        return _base_rows(st, args[0])
+    if op == "union":
+        if t.kind == "rel":
+            acc = _eval(st, args[0])
+            for child in args[1:]:
+                acc = tuple(map(_or, acc, _eval(st, child)))
+            return acc
+        mask = 0
+        for child in args:
+            mask |= _eval(st, child)
+        return mask
+    if op == "seq":
+        a = _eval(st, args[0])
+        if not any(a):
+            return st.zero
+        b = _eval(st, args[1])
+        if not any(b):
+            return st.zero
+        return tuple(compose_rows(a, b))
+    if op == "inter":
+        # Children are cost-sorted at construction; stop as soon as the
+        # accumulator goes empty (``rmw ∩ ...`` on rmw-free executions).
+        if t.kind == "rel":
+            acc = _eval(st, args[0])
+            if not any(acc):
+                return st.zero
+            for child in args[1:]:
+                acc = tuple(map(_and, acc, _eval(st, child)))
+                if not any(acc):
+                    return st.zero
+            return acc
+        mask = _eval(st, args[0])
+        for child in args[1:]:
+            if not mask:
+                return 0
+            mask &= _eval(st, child)
+        return mask
+    if op == "diff":
+        left, right = args
+        if t.kind == "rel":
+            a = _eval(st, left)
+            if not any(a):
+                return st.zero
+            b = _eval(st, right)
+            if not any(b):
+                return a
+            return tuple(p & ~q for p, q in zip(a, b))
+        return _eval(st, left) & ~_eval(st, right)
+    if op == "opt":
+        rows = _eval(st, args[0])
+        return tuple(row | (1 << i) for i, row in enumerate(rows))
+    if op == "plus":
+        return closure_rows_cached(st.uni, _eval(st, args[0]))
+    if op == "star":
+        return rtc_rows_cached(st.uni, _eval(st, args[0]))
+    if op == "set":
+        return _set_mask(st, args[0])
+    return _apply_rest(st, t, op, args, lambda child: _eval(st, child))
+
+
+def _apply_rest(st: _State, t: Term, op: str, args, ev):
+    """The cold tail of the op vocabulary, shared by both evaluators."""
+    if op == "inv":
+        return tuple(transpose_rows(ev(args[0])))
+    if op == "comp":
+        full = st.uni.full_mask
+        return tuple(~row & full for row in ev(args[0]))
+    if op == "setrel":
+        mask = ev(args[0])
+        return tuple((1 << i) if (mask >> i) & 1 else 0 for i in range(st.n))
+    if op == "cross":
+        sources = ev(args[0])
+        if not sources:
+            return st.zero
+        targets = ev(args[1])
+        if not targets:
+            return st.zero
+        return tuple(targets if (sources >> i) & 1 else 0 for i in range(st.n))
+    if op == "domain":
+        rows = ev(args[0])
+        mask = 0
+        for i, row in enumerate(rows):
+            if row:
+                mask |= 1 << i
+        return mask
+    if op == "range":
+        mask = 0
+        for row in ev(args[0]):
+            mask |= row
+        return mask
+    if op == "empty":
+        return st.zero if t.kind == "rel" else 0
+    if op == "fix":
+        return _eval_fix(st, t)
+    raise AssertionError(f"unexpected op {op!r}")  # pragma: no cover
+
+
+def _apply(st: _State, t: Term, ev):
+    """Compute one node from its children (``ev`` evaluates a child --
+    used by the open evaluator inside fix iterations; the persistent
+    path runs the specialised :func:`_compute`)."""
+    _NODE_EVALS.inc()
+    op = t.op
+    if op == "base":
+        return _base_rows(st, t.args[0])
+    if op == "set":
+        return _set_mask(st, t.args[0])
+    if op == "union":
+        if t.kind == "rel":
+            parts = [ev(child) for child in t.args]
+            first = parts[0]
+            if len(parts) == 2:
+                return tuple(a | b for a, b in zip(first, parts[1]))
+            out = []
+            for column in zip(*parts):
+                acc = 0
+                for row in column:
+                    acc |= row
+                out.append(acc)
+            return tuple(out)
+        mask = 0
+        for child in t.args:
+            mask |= ev(child)
+        return mask
+    if op == "inter":
+        # Children are cost-sorted at construction; stop as soon as the
+        # accumulator goes empty (``rmw ∩ ...`` on rmw-free executions).
+        if t.kind == "rel":
+            acc = ev(t.args[0])
+            if not any(acc):
+                return st.zero
+            for child in t.args[1:]:
+                rows = ev(child)
+                acc = tuple(a & b for a, b in zip(acc, rows))
+                if not any(acc):
+                    return st.zero
+            return acc
+        mask = ev(t.args[0])
+        for child in t.args[1:]:
+            if not mask:
+                return 0
+            mask &= ev(child)
+        return mask
+    if op == "diff":
+        left, right = t.args
+        if t.kind == "rel":
+            a = ev(left)
+            if not any(a):
+                return st.zero
+            b = ev(right)
+            if not any(b):
+                return a
+            return tuple(p & ~q for p, q in zip(a, b))
+        return ev(left) & ~ev(right)
+    if op == "seq":
+        left, right = t.args
+        a = ev(left)
+        if not any(a):
+            return st.zero
+        b = ev(right)
+        if not any(b):
+            return st.zero
+        return tuple(compose_rows(a, b))
+    if op == "plus":
+        return closure_rows_cached(st.uni, ev(t.args[0]))
+    if op == "star":
+        return rtc_rows_cached(st.uni, ev(t.args[0]))
+    if op == "opt":
+        rows = ev(t.args[0])
+        return tuple(row | (1 << i) for i, row in enumerate(rows))
+    return _apply_rest(st, t, op, t.args, ev)
+
+
+if _PROFILE:  # pragma: no cover - opt-in profiling build
+    _unprofiled_apply = _apply
+    _unprofiled_compute = _compute
+
+    def _apply(st, t, ev):  # type: ignore[no-redef]
+        start = time.perf_counter()
+        try:
+            return _unprofiled_apply(st, t, ev)
+        finally:
+            REGISTRY.observe(f"ir.node.{t.op}", time.perf_counter() - start)
+
+    def _compute(st, t):  # type: ignore[no-redef]
+        start = time.perf_counter()
+        try:
+            return _unprofiled_compute(st, t)
+        finally:
+            REGISTRY.observe(f"ir.node.{t.op}", time.perf_counter() - start)
+
+
+# ---------------------------------------------------------------------------
+# Constraint checking
+# ---------------------------------------------------------------------------
+
+
+def _holds(st: _State, constraint: Constraint) -> bool:
+    rows = _eval(st, constraint.term)
+    kind = constraint.kind
+    if kind == "acyclic":
+        return acyclic_rows_cached(st.uni, rows)
+    if kind == "irreflexive":
+        for i, row in enumerate(rows):
+            if (row >> i) & 1:
+                return False
+        return True
+    return not any(rows)
+
+
+def _check(st: _State, constraint: Constraint) -> bool:
+    """Per-execution verdict memo, keyed on (kind, term) so the same
+    axiom shared between plans (TM model and its baseline, say) is
+    decided once."""
+    key = constraint.vkey
+    v = st.vals.get(key, _MISS)
+    if v is not _MISS:
+        return v
+    v = _holds(st, constraint)
+    st.vals[key] = v
+    return v
+
+
+def _checked(st: _State, plan: Plan, constraint: Constraint) -> bool:
+    if _PROFILE:  # pragma: no cover - opt-in profiling build
+        with REGISTRY.timer(
+            f"ir.constraint.{plan.name}.{constraint.name}"
+        ).time():
+            return _check(st, constraint)
+    return _check(st, constraint)
+
+
+# ---------------------------------------------------------------------------
+# Compiled runners (repro.ir.codegen)
+# ---------------------------------------------------------------------------
+
+
+def _domain_mask(rows) -> int:
+    mask = 0
+    for i, row in enumerate(rows):
+        if row:
+            mask |= 1 << i
+    return mask
+
+
+def _range_mask(rows) -> int:
+    mask = 0
+    for row in rows:
+        mask |= row
+    return mask
+
+
+def _has_reflexive(rows) -> bool:
+    for i, row in enumerate(rows):
+        if (row >> i) & 1:
+            return True
+    return False
+
+
+#: Primitives handed to generated runners (see ``codegen.build``).
+_CODEGEN_NS = {
+    "_M": _MISS,
+    "_s": _static_fetch,
+    "_b": _base_rows,
+    "_m": _set_mask,
+    "_fx": _eval_fix,
+    "_cr": compose_rows,
+    "_clo": closure_rows_cached,
+    "_rtc": rtc_rows_cached,
+    "_tr": transpose_rows,
+    "_acy": acyclic_rows_cached,
+    "_or": _or,
+    "_and": _and,
+    "_dif": lambda p, q: p & ~q,
+    "_dom": _domain_mask,
+    "_rng": _range_mask,
+    "_refl": _has_reflexive,
+    "_sc": _SHORT_CIRCUITS,
+}
+
+
+def _runner_for(plan: Plan):
+    runner = plan.runner
+    if runner is None:
+        from . import codegen
+
+        try:
+            runner = codegen.build(plan, _CODEGEN_NS)
+        except Exception:  # pragma: no cover - codegen must not break models
+            runner = False
+        plan.runner = runner
+    return runner
+
+
+# ---------------------------------------------------------------------------
+# Relation-level fallback (mixed-universe executions; reference semantics)
+# ---------------------------------------------------------------------------
+
+
+def _fallback_memo(x) -> dict:
+    cache = RelationContext.of(x)._cache
+    memo = cache.get("ir.relvals")
+    if memo is None:
+        memo = {}
+        cache["ir.relvals"] = memo
+    return memo
+
+
+def fallback_value(term: Term, x):
+    """Relation-level evaluation of a term (the reference semantics the
+    row engine is property-tested against; also the live path for
+    executions whose primitives cannot be row-aligned)."""
+    return _rel_eval(term, x, _fallback_memo(x))
+
+
+def _rel_eval(t: Term, x, memo: dict):
+    v = memo.get(t.uid, _MISS)
+    if v is not _MISS:
+        return v
+    v = _rel_apply(t, x, memo, None, None)
+    memo[t.uid] = v
+    return v
+
+
+def _rel_open(t: Term, x, memo: dict, varvals: list, itermemo: dict):
+    if not t.has_var:
+        return _rel_eval(t, x, memo)
+    if t.op == "var":
+        return varvals[t.args[0]]
+    v = itermemo.get(t.uid, _MISS)
+    if v is not _MISS:
+        return v
+    v = _rel_apply(t, x, memo, varvals, itermemo)
+    itermemo[t.uid] = v
+    return v
+
+
+def _rel_apply(t: Term, x, memo: dict, varvals, itermemo):
+    if varvals is None:
+        ev = lambda child: _rel_eval(child, x, memo)
+    else:
+        ev = lambda child: _rel_open(child, x, memo, varvals, itermemo)
+    op = t.op
+    if op in ("base", "set"):
+        return RelationContext.of(x).cat_environment()[t.args[0]]
+    if op == "union":
+        value = ev(t.args[0])
+        for child in t.args[1:]:
+            value = value | ev(child)
+        return value
+    if op == "inter":
+        value = ev(t.args[0])
+        for child in t.args[1:]:
+            value = value & ev(child)
+        return value
+    if op == "diff":
+        return ev(t.args[0]) - ev(t.args[1])
+    if op == "seq":
+        return ev(t.args[0]).compose(ev(t.args[1]))
+    if op == "plus":
+        return ev(t.args[0]).transitive_closure()
+    if op == "star":
+        return ev(t.args[0]).reflexive_transitive_closure()
+    if op == "opt":
+        return ev(t.args[0]).optional()
+    if op == "inv":
+        return ev(t.args[0]).inverse()
+    if op == "comp":
+        return ~ev(t.args[0])
+    if op == "setrel":
+        return Relation.from_set(ev(t.args[0]), x.eids)
+    if op == "cross":
+        return Relation.cross(ev(t.args[0]), ev(t.args[1]), x.eids)
+    if op == "domain":
+        return ev(t.args[0]).domain()
+    if op == "range":
+        return ev(t.args[0]).range()
+    if op == "empty":
+        return Relation.empty(x.eids) if t.kind == "rel" else frozenset()
+    if op == "fix":
+        group = t.group
+        results = memo.get(("g", group.uid), _MISS)
+        if results is _MISS:
+            cur = [
+                Relation.empty(x.eids) if kind == "rel" else frozenset()
+                for kind in group.kinds
+            ]
+            while True:
+                rounds: dict = {}
+                nxt = [
+                    _rel_open(body, x, memo, cur, rounds)
+                    for body in group.bodies
+                ]
+                if nxt == cur:
+                    break
+                cur = nxt
+            results = tuple(cur)
+            memo[("g", group.uid)] = results
+        return results[t.args[1]]
+    raise AssertionError(f"unexpected op {op!r}")  # pragma: no cover
+
+
+def _fallback_check(constraint: Constraint, x) -> bool:
+    value = fallback_value(constraint.term, x)
+    if constraint.kind == "acyclic":
+        return value.is_acyclic()
+    if constraint.kind == "irreflexive":
+        return value.is_irreflexive()
+    return value.is_empty()
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def consistent(plan: Plan, x) -> bool:
+    """All constraints hold, evaluated cheapest-first with early exit."""
+    st = _state(x)
+    scheduled = plan.scheduled
+    try:
+        if _PROFILE:  # pragma: no cover - opt-in profiling build
+            for position, constraint in enumerate(scheduled):
+                if not _checked(st, plan, constraint):
+                    if position + 1 < len(scheduled):
+                        _SHORT_CIRCUITS.inc()
+                    return False
+            return True
+        vals = st.vals
+        if vals:
+            # Repeat calls answer from the verdict memo (a False verdict
+            # decides the conjunction even if later ones are missing).
+            for constraint in scheduled:
+                v = vals.get(constraint.vkey)
+                if v is None:
+                    break
+                if not v:
+                    return False
+            else:
+                return True
+        # The synthesis hot path: run the plan's compiled runner, which
+        # records its verdicts in ``vals`` so thunk/diagnostic calls (and
+        # other plans sharing constraints) agree with it.  Re-running a
+        # plan recomputes rows rather than reading the interpretive node
+        # memo, but expensive verdicts still hit the row-level caches.
+        runner = _runner_for(plan)
+        if runner is not False:
+            _FAST_RUNS.inc()
+            return runner(st)
+        remaining = len(scheduled)
+        for constraint in scheduled:
+            remaining -= 1
+            v = vals.get(constraint.vkey, _MISS)
+            if v is _MISS:
+                v = _holds(st, constraint)
+                vals[constraint.vkey] = v
+            if not v:
+                if remaining:
+                    _SHORT_CIRCUITS.inc()
+                return False
+        return True
+    except _Misaligned:
+        _FALLBACKS.inc()
+        return all(_fallback_check(c, x) for c in plan.constraints)
+
+
+def violated_axioms(plan: Plan, x) -> list[str]:
+    """Names of failing constraints, in declaration order, straight from
+    the executor's per-constraint verdicts (no separate diagnostic
+    path)."""
+    st = _state(x)
+    names = []
+    for constraint in plan.constraints:
+        try:
+            ok = _checked(st, plan, constraint)
+        except _Misaligned:
+            _FALLBACKS.inc()
+            ok = _fallback_check(constraint, x)
+        if not ok:
+            names.append(constraint.name)
+    return names
+
+
+def axiom_thunks(plan: Plan, x) -> list[tuple[str, "callable"]]:
+    """``(name, thunk)`` pairs in declaration order; each thunk resolves
+    through the executor's verdict memo (so the thunk view and the fast
+    path can never disagree)."""
+    st = _state(x)
+
+    def thunk_for(constraint: Constraint):
+        def thunk() -> bool:
+            try:
+                return _checked(st, plan, constraint)
+            except _Misaligned:
+                _FALLBACKS.inc()
+                return _fallback_check(constraint, x)
+
+        return thunk
+
+    return [(c.name, thunk_for(c)) for c in plan.constraints]
+
+
+def evaluate(term: Term, x):
+    """Materialise a term over an execution as a
+    :class:`~repro.relations.Relation` (or frozenset for set terms),
+    interned per execution so repeated calls return the identical
+    object."""
+    st = _state(x)
+    v = st.rels.get(term.uid, _MISS)
+    if v is not _MISS:
+        return v
+    try:
+        raw = _eval(st, term)
+    except _Misaligned:
+        _FALLBACKS.inc()
+        v = fallback_value(term, x)
+    else:
+        if term.kind == "rel":
+            v = Relation._make(st.uni, raw)
+        else:
+            elements = st.uni.elements
+            v = frozenset(
+                elements[i] for i in range(st.n) if (raw >> i) & 1
+            )
+    st.rels[term.uid] = v
+    return v

@@ -7,9 +7,9 @@ The baseline is the official multicopy-atomic ARMv8 axiomatic model
 Baseline axioms::
 
     acyclic(poloc ∪ com)                                  (Coherence)
+    empty(rmw ∩ (fre ; coe))                              (RMWIsol)
     acyclic(ob)                                           (Order)
       where ob = come ∪ dob ∪ aob ∪ bob
-    empty(rmw ∩ (fre ; coe))                              (RMWIsol)
 
 TM additions (highlighted in Fig. 8; the extension is unofficial, based
 on a proposal within ARM Research):
@@ -20,258 +20,135 @@ on a proposal within ARM Research):
 This is the model under which lock elision is unsound (Example 1.1,
 Fig. 10): an acquire-load spinlock does not order the lock read before
 program-order-later accesses strongly enough once transactions exist.
+
+The axioms are declared as IR terms mirroring ``cat/models/armv8tm.cat``
+clause for clause; the planner's static hoisting recovers what the old
+hand-fused kernel spelled ``dobstatic``/``bobstatic`` by hand, since the
+rf/co-independent parts of the big ``ob`` union collapse into interned
+skeleton-static nodes mechanically.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from .. import ir
 from ..events import Execution
 from ..relations import Relation
-from ..relations.relation import acyclic_rows_cached, compose_rows
-from .base import AxiomThunk, MemoryModel
-from .common import (
-    coherence_ok,
-    coherence_rows_ok,
-    comm_rows,
-    lifted_acyclic_rows_ok,
-    mask_of,
-    rmw_isolation_ok,
-    rmw_isolation_rows_ok,
-    strong_isolation_ok,
-    txn_cancels_rmw_ok,
-    txn_cancels_rmw_rows_ok,
-    txn_order_ok,
-)
+from .base import IRModel
 
 
-class ARMv8Model(MemoryModel):
+@lru_cache(maxsize=None)
+def _terms(transactional: bool) -> dict[str, ir.Term]:
+    addr, data, po = ir.rel("addr"), ir.rel("data"), ir.rel("po")
+    ctrl, isb = ir.rel("ctrl"), ir.rel("isb")
+    rfi, coi, come = ir.rel("rfi"), ir.rel("coi"), ir.rel("come")
+    rmw = ir.rel("rmw")
+    dmb, dmbld, dmbst = ir.rel("dmb"), ir.rel("dmbld"), ir.rel("dmbst")
+    reads_id = ir.setrel(ir.evset("R"))
+    writes_id = ir.setrel(ir.evset("W"))
+    acq_id = ir.setrel(ir.evset("ACQ"))
+    rel_id = ir.setrel(ir.evset("REL"))
+
+    # Dependency-ordered-before.  Unlike Power (Table 3, footnote 3),
+    # ARMv8 recognises no dependency through a store-exclusive's success
+    # flag: ctrl edges are restricted to read sources.  This asymmetry is
+    # what makes the ARM spinlock elidable-unsafe (Example 1.1) while
+    # Power's ctrl-isync idiom orders more strongly.
+    ctrlr = ir.seq(reads_id, ctrl)
+    addrpo = ir.seq(addr, po)
+    isbord = ir.seq(ir.inter(ir.union(ctrlr, addrpo), isb), reads_id)
+    dob = ir.union(
+        addr,
+        data,
+        ir.seq(ctrlr, writes_id),
+        isbord,
+        ir.seq(addrpo, writes_id),
+        ir.seq(ir.union(ctrlr, data), coi),
+        ir.seq(ir.union(addr, data), rfi),
+    )
+
+    # Atomic-ordered-before.
+    aob = ir.union(
+        rmw, ir.seq(ir.setrel(ir.evset("WEX")), rfi, acq_id)
+    )
+
+    # Barrier-ordered-before.
+    porel = ir.seq(po, rel_id)
+    bob = ir.union(
+        dmb,
+        ir.seq(reads_id, dmbld),
+        ir.seq(writes_id, dmbst, writes_id),
+        ir.seq(acq_id, po),
+        porel,
+        ir.seq(porel, coi),
+        ir.seq(rel_id, po, acq_id),
+    )
+
+    ob_parts = [come, dob, aob, bob]
+    if transactional:
+        ob_parts.append(ir.rel("tfence"))
+    ob = ir.union(*ob_parts)
+    return {"dob": dob, "aob": aob, "bob": bob, "ob": ob}
+
+
+@lru_cache(maxsize=None)
+def _plan(transactional: bool) -> ir.Plan:
+    terms = _terms(transactional)
+    com, stxn, rmw = ir.rel("com"), ir.rel("stxn"), ir.rel("rmw")
+    constraints = [
+        ir.acyclic("Coherence", ir.union(ir.rel("poloc"), com)),
+        ir.empty_c(
+            "RMWIsol", ir.inter(rmw, ir.seq(ir.rel("fre"), ir.rel("coe")))
+        ),
+        ir.acyclic("Order", terms["ob"]),
+    ]
+    if transactional:
+        constraints.extend(
+            [
+                ir.acyclic("StrongIsol", ir.stronglift(com, stxn)),
+                ir.acyclic("TxnOrder", ir.stronglift(terms["ob"], stxn)),
+                ir.empty_c(
+                    "TxnCancelsRMW",
+                    ir.inter(rmw, ir.star(ir.rel("tfence"))),
+                ),
+            ]
+        )
+    return ir.compile_model(
+        "ARMv8+TM" if transactional else "ARMv8", constraints
+    )
+
+
+class ARMv8Model(IRModel):
     """ARMv8, optionally with the paper's (unofficial) TM axioms."""
 
     def __init__(self, transactional: bool = True):
         self.is_transactional = transactional
         self.name = "ARMv8+TM" if transactional else "ARMv8"
 
-    def baseline(self) -> MemoryModel:
+    def baseline(self) -> "ARMv8Model":
         return ARMv8Model(transactional=False) if self.is_transactional else self
 
+    def plan(self) -> ir.Plan:
+        return _plan(self.is_transactional)
+
     # ------------------------------------------------------------------
-    # Ordered-before components (aarch64.cat)
+    # Ordered-before components (materialised views of the IR terms)
     # ------------------------------------------------------------------
 
     def dob(self, x: Execution) -> Relation:
-        """Dependency-ordered-before.
-
-        Unlike Power (Table 3, footnote 3), ARMv8 recognises no
-        dependency through a store-exclusive's success flag: ``ctrl``
-        edges sourced at writes are ignored here.  This asymmetry is
-        what makes the ARM spinlock elidable-unsafe (Example 1.1) while
-        Power's ctrl-isync idiom orders more strongly.
-        """
-        static = x.context.get(
-            "static:armv8.dobstatic", lambda: self._dob_static(x)
-        )
-        ctrl = x.context.get(
-            "static:armv8.rctrl",
-            lambda: Relation.from_set(x.reads, x.eids).compose(x.ctrl),
-        )
-        return (
-            static
-            | (ctrl | x.data).compose(x.coi)
-            | (x.addr | x.data).compose(x.rfi)
-        )
-
-    def _dob_static(self, x: Execution) -> Relation:
-        """The rf/co-independent part of ``dob``."""
-        w_id = Relation.from_set(x.writes, x.eids)
-        r_id = Relation.from_set(x.reads, x.eids)
-        ctrl = r_id.compose(x.ctrl)  # read-sourced only
-        addr_po = x.addr.compose(x.po)
-        # (ctrl | addr;po); [ISB]; po; [R]: approximated as the pairs that
-        # are both dependency-reachable and separated by an ISB event.
-        isb_order = ((ctrl | addr_po) & x.isb).compose(r_id)
-        return (
-            x.addr
-            | x.data
-            | ctrl.compose(w_id)
-            | isb_order
-            | addr_po.compose(w_id)
-        )
+        """Dependency-ordered-before."""
+        return ir.evaluate(_terms(self.is_transactional)["dob"], x)
 
     def aob(self, x: Execution) -> Relation:
         """Atomic-ordered-before."""
-        exclusive_writes = Relation.from_set(x.rmw.range(), x.eids)
-        acq_id = Relation.from_set(x.acq, x.eids)
-        return x.rmw | exclusive_writes.compose(x.rfi).compose(acq_id)
+        return ir.evaluate(_terms(self.is_transactional)["aob"], x)
 
     def bob(self, x: Execution) -> Relation:
         """Barrier-ordered-before."""
-        static = x.context.get(
-            "static:armv8.bobstatic", lambda: self._bob_static(x)
-        )
-        return static | self._porel(x).compose(x.coi)
-
-    def _bob_static(self, x: Execution) -> Relation:
-        """The rf/co-independent part of ``bob``."""
-        r_id = Relation.from_set(x.reads, x.eids)
-        w_id = Relation.from_set(x.writes, x.eids)
-        acq_id = Relation.from_set(x.acq, x.eids)
-        rel_id = Relation.from_set(x.rel, x.eids)
-        po_rel = x.po.compose(rel_id)
-        return (
-            x.dmb
-            | r_id.compose(x.dmbld)
-            | w_id.compose(x.dmbst).compose(w_id)
-            | acq_id.compose(x.po)
-            | po_rel
-            | rel_id.compose(x.po).compose(acq_id)
-        )
+        return ir.evaluate(_terms(self.is_transactional)["bob"], x)
 
     def ob(self, x: Execution) -> Relation:
         """Ordered-before (Fig. 8): ``come ∪ dob ∪ aob ∪ bob`` plus, in
         the TM extension, ``tfence``."""
-        if self.is_transactional:
-            return Relation.union_of(
-                x.come, self.dob(x), self.aob(x), self.bob(x), x.tfence
-            )
-        return Relation.union_of(
-            x.come, self.dob(x), self.aob(x), self.bob(x)
-        )
-
-    # ------------------------------------------------------------------
-    # Axioms
-    # ------------------------------------------------------------------
-
-    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
-        variant = "tm" if self.is_transactional else "base"
-        ob = lambda: x.context.get(f"armv8.ob.{variant}", lambda: self.ob(x))
-        thunks: list[AxiomThunk] = [
-            ("Coherence", lambda: coherence_ok(x)),
-            ("RMWIsol", lambda: rmw_isolation_ok(x)),
-            ("Order", lambda: ob().is_acyclic()),
-        ]
-        if self.is_transactional:
-            thunks.extend(
-                [
-                    ("StrongIsol", lambda: strong_isolation_ok(x)),
-                    ("TxnOrder", lambda: txn_order_ok(x, ob())),
-                    ("TxnCancelsRMW", lambda: txn_cancels_rmw_ok(x)),
-                ]
-            )
-        return thunks
-
-    # ------------------------------------------------------------------
-    # Fused row-level consistency kernel
-    # ------------------------------------------------------------------
-
-    def _ob_masks(self, x: Execution, uni) -> tuple[int, int]:
-        """Bitmasks of the store-exclusive writes and acquire events,
-        skeleton-static."""
-        return x.context.get(
-            "static:armv8.obmasks",
-            lambda: (mask_of(uni, x.rmw.range()), mask_of(uni, x.acq)),
-        )
-
-    def _porel(self, x: Execution) -> Relation:
-        """``po ; [REL]``, skeleton-static (bob's dynamic part composes
-        it with coi)."""
-        return x.context.get(
-            "static:armv8.porel",
-            lambda: x.po.compose(Relation.from_set(x.rel, x.eids)),
-        )
-
-    def _ob_rows(
-        self, x: Execution, uni, rf_rows, co_rows, fr_rows, same
-    ) -> tuple[int, ...]:
-        """Rows of ordered-before: ``come ∪ dob ∪ aob ∪ bob`` (plus
-        ``tfence`` in the TM extension), evaluated without intermediate
-        :class:`Relation` objects."""
-        rfi = [r & t for r, t in zip(rf_rows, same)]
-        coi = [c & t for c, t in zip(co_rows, same)]
-
-        dob_static = x.context.get(
-            "static:armv8.dobstatic", lambda: self._dob_static(x)
-        )
-        rctrl = x.context.get(
-            "static:armv8.rctrl",
-            lambda: Relation.from_set(x.reads, x.eids).compose(x.ctrl),
-        )
-        data = x.data._rows
-        addr = x.addr._rows
-        dob_coi = compose_rows(
-            [c | d for c, d in zip(rctrl._rows, data)], coi
-        )
-        dob_rfi = compose_rows([a | d for a, d in zip(addr, data)], rfi)
-
-        wex_mask, acq_mask = self._ob_masks(x, uni)
-        bob_static = x.context.get(
-            "static:armv8.bobstatic", lambda: self._bob_static(x)
-        )
-        bob_coi = compose_rows(self._porel(x)._rows, coi)
-
-        rows = []
-        rmw_rows = x.rmw._rows
-        for i, (r, c, f) in enumerate(zip(rf_rows, co_rows, fr_rows)):
-            come = (r | c | f) & ~same[i]
-            row = (
-                come
-                | dob_static._rows[i]
-                | dob_coi[i]
-                | dob_rfi[i]
-                | rmw_rows[i]
-                | bob_static._rows[i]
-                | bob_coi[i]
-            )
-            if wex_mask >> i & 1:
-                # aob's dynamic part: [WEX] ; rfi ; [ACQ].
-                row |= rfi[i] & acq_mask
-            rows.append(row)
-        if self.is_transactional:
-            rows = [o | t for o, t in zip(rows, x.tfence._rows)]
-        return tuple(rows)
-
-    def consistent(self, x: Execution) -> bool:
-        """Fused row-level consistency kernel (see ``X86Model``).
-
-        Verdict-identical to the generic ``axiom_thunks`` conjunction
-        (property-tested), which remains the source of truth for
-        diagnostics.
-        """
-        comm = comm_rows(x)
-        if comm is None:
-            # Mixed universes (hand-built executions): generic path.
-            return all(thunk() for _, thunk in self.axiom_thunks(x))
-        uni, rf_rows, co_rows, fr_rows = comm
-
-        if not coherence_rows_ok(x, uni, rf_rows, co_rows, fr_rows):
-            return False
-        same = x.same_thread._rows
-        if not rmw_isolation_rows_ok(x, same, co_rows, fr_rows):
-            return False
-
-        variant = "tm" if self.is_transactional else "base"
-        ob = x.context.get(
-            f"armv8.ob.rows.{variant}",
-            lambda: self._ob_rows(x, uni, rf_rows, co_rows, fr_rows, same),
-        )
-        if not acyclic_rows_cached(uni, ob):
-            return False
-
-        if self.is_transactional:
-            if x.txn_of:
-                com = [
-                    a | b | c for a, b, c in zip(rf_rows, co_rows, fr_rows)
-                ]
-                if not lifted_acyclic_rows_ok(x, uni, com):
-                    return False
-                if not lifted_acyclic_rows_ok(x, uni, ob):
-                    return False
-            else:
-                # stxn? is the identity: StrongIsol degenerates to
-                # acyclic(com); TxnOrder to acyclic(ob), checked above.
-                com = tuple(
-                    a | b | c for a, b, c in zip(rf_rows, co_rows, fr_rows)
-                )
-                if not acyclic_rows_cached(uni, com):
-                    return False
-            if not txn_cancels_rmw_rows_ok(x):
-                return False
-        return True
+        return ir.evaluate(_terms(self.is_transactional)["ob"], x)

@@ -1,17 +1,26 @@
 """Memory-model interface.
 
-A memory model is a named set of axioms over executions (§2).  Concrete
-models provide :meth:`MemoryModel.axiom_thunks`, a list of named,
-lazily-evaluated axiom checks; consistency is their conjunction.  Thunks
-share work through the execution's
-:class:`~repro.relations.RelationContext` (``x.context``) so that, e.g.,
-Power's ``hb`` is computed once even though three axioms mention it --
-and is not computed at all if the cheap Coherence axiom already fails
-(the common case inside enumeration loops).  Context keys are
-variant-keyed (``power.hb.tm`` vs ``power.hb.base``) wherever the TM and
-baseline models derive different values, and the sharing survives
-repeated ``consistent`` calls and a skeleton's rf/co completions --
-never use a call-local memo for derived relations.
+A memory model is a named set of axioms over executions (§2).  The
+abstract :class:`MemoryModel` exposes the axiom vocabulary --
+:meth:`~MemoryModel.axiom_thunks` for lazy per-axiom checks,
+:meth:`~MemoryModel.consistent` for the conjunction,
+:meth:`~MemoryModel.violated_axioms` for diagnostics.
+
+Every concrete model in the reproduction -- the six Python models *and*
+parsed ``.cat`` files -- is an :class:`IRModel`: it *declares* its
+axioms as a :class:`repro.ir.Plan` of relational-algebra terms and
+inherits all three methods as thin wrappers over the shared
+:mod:`repro.ir.executor`.  Derived relations are shared across axioms
+(and across models checking the same execution) through hash-consed
+terms memoised in the execution's
+:class:`~repro.relations.RelationContext`; skeleton-static subterms are
+adopted across a skeleton's rf/co completions automatically.  Because
+diagnostics and the hot path both read the executor's per-constraint
+verdicts, they can never disagree.
+
+:class:`MemoryModel` itself stays IR-agnostic so that wrappers composing
+*other* models (e.g. :class:`repro.sim.FilteredModel`) can still supply
+plain thunks.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from __future__ import annotations
 import abc
 from typing import Callable
 
+from .. import ir
 from ..events import Execution
 
 AxiomThunk = tuple[str, Callable[[], bool]]
@@ -35,7 +45,7 @@ class MemoryModel(abc.ABC):
 
     @abc.abstractmethod
     def axiom_thunks(self, execution: Execution) -> list[AxiomThunk]:
-        """Named axiom checks, cheapest first."""
+        """Named axiom checks, in the model's declaration order."""
 
     def consistent(self, execution: Execution) -> bool:
         """Does the execution satisfy every axiom?"""
@@ -58,3 +68,25 @@ class MemoryModel(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MemoryModel {self.name}>"
+
+
+class IRModel(MemoryModel):
+    """A model whose axioms are declared as an IR plan.
+
+    Subclasses implement :meth:`plan` (usually returning a module-level
+    ``lru_cache``'d spec, so the term DAG and its schedule are built
+    once per process); everything else is the shared executor.
+    """
+
+    @abc.abstractmethod
+    def plan(self) -> "ir.Plan":
+        """The compiled constraint plan for this model."""
+
+    def axiom_thunks(self, execution: Execution) -> list[AxiomThunk]:
+        return ir.axiom_thunks(self.plan(), execution)
+
+    def consistent(self, execution: Execution) -> bool:
+        return ir.consistent(self.plan(), execution)
+
+    def violated_axioms(self, execution: Execution) -> list[str]:
+        return ir.violated_axioms(self.plan(), execution)

@@ -7,9 +7,9 @@ definitions; both are implemented in full here.
 
 Consistency axioms::
 
-    irreflexive(hb ; com*)                                (HbCom)
-    empty(rmw ∩ (fre ; coe))                              (RMWIsol)
     acyclic(po ∪ rf)                                      (NoThinAir)
+    empty(rmw ∩ (fre ; coe))                              (RMWIsol)
+    irreflexive(hb ; com*)                                (HbCom)
     acyclic(psc)                                          (SeqCst)
 
 Race freedom (a separate predicate -- racy programs are undefined)::
@@ -28,118 +28,168 @@ over transactions::
 Atomic transactions (``stxnat``) add no axiom: Theorem 7.2 shows they are
 strongly isolated *for free* in race-free programs, because they may not
 contain atomic operations.
+
+The axioms are declared as IR terms mirroring ``cat/models/cpptm.cat``
+clause for clause; the ``rs``/``cnf`` prefixes the old hand-fused path
+interned under ``static:cpp.rsbase``/``static:cpp.cnf`` fall out of the
+planner's static classification mechanically.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from .. import ir
 from ..events import Execution
-from ..relations import Relation, weaklift
-from ..relations.context import global_intern
-from .base import AxiomThunk, MemoryModel
-from .common import rmw_isolation_ok
+from ..relations import Relation
+from .base import IRModel
 
 
-class CppModel(MemoryModel):
+@lru_cache(maxsize=None)
+def _terms(transactional: bool) -> dict[str, ir.Term]:
+    po, rf, co, fr = ir.rel("po"), ir.rel("rf"), ir.rel("co"), ir.rel("fr")
+    com, sloc, poloc = ir.rel("com"), ir.rel("sloc"), ir.rel("poloc")
+    rmw, stxn = ir.rel("rmw"), ir.rel("stxn")
+    writes, reads = ir.evset("W"), ir.evset("R")
+    fences, ato, sc = ir.evset("F"), ir.evset("ATO"), ir.evset("SC")
+    fence_id = ir.setrel(fences)
+
+    # RC11 synchronisation:
+    # rs = [W] ; (poloc ∩ (W×W))? ; [W ∩ Ato] ; (rf ; rmw)*
+    rs = ir.seq(
+        ir.setrel(writes),
+        ir.opt(ir.inter(poloc, ir.cross(writes, writes))),
+        ir.setrel(ir.inter(writes, ato)),
+        ir.star(ir.seq(rf, rmw)),
+    )
+    # sw = [Rel] ; ([F] ; po)? ; rs ; rf ; [R ∩ Ato] ; (po ; [F])? ; [Acq]
+    sw = ir.seq(
+        ir.setrel(ir.evset("REL")),
+        ir.opt(ir.seq(fence_id, po)),
+        rs,
+        rf,
+        ir.setrel(ir.inter(reads, ato)),
+        ir.opt(ir.seq(po, fence_id)),
+        ir.setrel(ir.evset("ACQ")),
+    )
+
+    # Extended communication and transactional synchronises-with (§7.2).
+    ecom = ir.union(com, ir.seq(co, rf))
+    tsw = ir.weaklift(ecom, stxn)
+
+    hb_parts = [sw, po]
+    if transactional:
+        hb_parts.append(tsw)
+    hb = ir.plus(ir.union(*hb_parts))
+    hb_opt = ir.opt(hb)
+
+    # RC11 partial SC.
+    eco = ir.plus(com)
+    pd = ir.diff(po, sloc)
+    scb = ir.union(
+        po, ir.seq(pd, hb, pd), ir.inter(hb, sloc), co, fr
+    )
+    sc_id = ir.setrel(sc)
+    f_sc = ir.setrel(ir.inter(sc, fences))
+    psc1 = ir.seq(
+        ir.union(sc_id, ir.seq(f_sc, hb_opt)),
+        scb,
+        ir.union(sc_id, ir.seq(hb_opt, f_sc)),
+    )
+    psc2 = ir.seq(f_sc, ir.union(hb, ir.seq(hb, eco, hb)), f_sc)
+    psc = ir.union(psc1, psc2)
+
+    # Races: cnf = ((W×W) ∪ (R×W) ∪ (W×R)) ∩ sloc \ id.
+    cnf = ir.diff(
+        ir.inter(
+            ir.union(
+                ir.cross(writes, writes),
+                ir.cross(reads, writes),
+                ir.cross(writes, reads),
+            ),
+            sloc,
+        ),
+        ir.rel("id"),
+    )
+    races = ir.diff(
+        ir.diff(cnf, ir.cross(ato, ato)), ir.union(hb, ir.inv(hb))
+    )
+
+    return {
+        "rs": rs,
+        "sw": sw,
+        "ecom": ecom,
+        "tsw": tsw,
+        "hb": hb,
+        "eco": eco,
+        "psc": psc,
+        "cnf": cnf,
+        "races": races,
+        "com_star": ir.star(com),
+    }
+
+
+@lru_cache(maxsize=None)
+def _plan(transactional: bool) -> ir.Plan:
+    terms = _terms(transactional)
+    constraints = [
+        ir.acyclic("NoThinAir", ir.union(ir.rel("po"), ir.rel("rf"))),
+        ir.empty_c(
+            "RMWIsol",
+            ir.inter(ir.rel("rmw"), ir.seq(ir.rel("fre"), ir.rel("coe"))),
+        ),
+        ir.irreflexive("HbCom", ir.seq(terms["hb"], terms["com_star"])),
+        ir.acyclic("SeqCst", terms["psc"]),
+    ]
+    return ir.compile_model("C+++TM" if transactional else "C++", constraints)
+
+
+class CppModel(IRModel):
     """RC11 C++, optionally with the paper's TM extension."""
 
     def __init__(self, transactional: bool = True):
         self.is_transactional = transactional
         self.name = "C+++TM" if transactional else "C++"
 
-    def baseline(self) -> MemoryModel:
+    def baseline(self) -> "CppModel":
         return CppModel(transactional=False) if self.is_transactional else self
 
-    # ------------------------------------------------------------------
-    # Synchronisation (RC11)
-    # ------------------------------------------------------------------
+    def plan(self) -> ir.Plan:
+        return _plan(self.is_transactional)
 
-    def _rs_static(self, x: Execution) -> Relation:
-        """``[W] ; (poloc ∩ (W×W))? ; [W ∩ Ato]`` -- the rf-free prefix
-        of the release sequence, shared across a skeleton's completions."""
-        def compute() -> Relation:
-            w_id = Relation.from_set(x.writes, x.eids)
-            w_ato = Relation.from_set(x.writes & x.atomics, x.eids)
-            same_loc_ww = (
-                x.poloc & Relation.cross(x.writes, x.writes, x.eids)
-            ).optional()
-            return w_id.compose(same_loc_ww).compose(w_ato)
+    def _term(self, name: str) -> ir.Term:
+        return _terms(self.is_transactional)[name]
 
-        return x.context.get(
-            "static:cpp.rsbase",
-            lambda: global_intern(
-                (
-                    "cpprsb",
-                    x._intern_uid,
-                    x.threads,
-                    x._loc_key,
-                    x._kind_key,
-                    tuple(sorted(x.atomics)),
-                ),
-                compute,
-            ),
-        )
+    # ------------------------------------------------------------------
+    # Synchronisation (materialised views of the IR terms)
+    # ------------------------------------------------------------------
 
     def release_sequence(self, x: Execution) -> Relation:
         """``rs = [W] ; (poloc ∩ (W×W))? ; [W ∩ Ato] ; (rf ; rmw)*``."""
-        return x.context.get(
-            "cpp.rs",
-            lambda: self._rs_static(x).compose(
-                x.rf.compose(x.rmw).reflexive_transitive_closure()
-            ),
-        )
+        return ir.evaluate(self._term("rs"), x)
 
     def sw(self, x: Execution) -> Relation:
         """Synchronises-with:
         ``sw = [Rel] ; ([F] ; po)? ; rs ; rf ; [R ∩ Ato] ; (po ; [F])? ; [Acq]``.
         """
-
-        def compute() -> Relation:
-            rel_id = Relation.from_set(x.rel, x.eids)
-            acq_id = Relation.from_set(x.acq, x.eids)
-            fence_id = Relation.from_set(x.fences, x.eids)
-            r_ato = Relation.from_set(x.reads & x.atomics, x.eids)
-            pre = fence_id.compose(x.po).optional()
-            post = x.po.compose(fence_id).optional()
-            return (
-                rel_id.compose(pre)
-                .compose(self.release_sequence(x))
-                .compose(x.rf)
-                .compose(r_ato)
-                .compose(post)
-                .compose(acq_id)
-            )
-
-        return x.context.get("cpp.sw", compute)
+        return ir.evaluate(self._term("sw"), x)
 
     def ecom(self, x: Execution) -> Relation:
         """Extended communication (§7.2): ``com ∪ (co ; rf)``."""
-        return x.context.get(
-            "cpp.ecom", lambda: x.com | x.co.compose(x.rf)
-        )
+        return ir.evaluate(self._term("ecom"), x)
 
     def tsw(self, x: Execution) -> Relation:
         """Transactional synchronises-with (§7.2)."""
-        return x.context.get(
-            "cpp.tsw", lambda: weaklift(self.ecom(x), x.stxn)
-        )
+        return ir.evaluate(self._term("tsw"), x)
 
     def hb(self, x: Execution) -> Relation:
         """``hb = (sw ∪ tsw ∪ po)+`` (``tsw`` only in the TM model).
 
-        Interned variant-keyed in ``x.context`` (``cpp.hb.tm`` vs
-        ``cpp.hb.base``) like every other model, so the four axioms, the
-        race predicate, repeated ``consistent`` calls, and a skeleton's
-        rf/co completions all share one computation per execution.
+        The TM and baseline variants are distinct hash-consed terms, so
+        their per-execution values can never alias; everything below hb
+        (``sw`` and its release sequence) is one shared subdag.
         """
-        variant = "tm" if self.is_transactional else "base"
-
-        def compute() -> Relation:
-            base = self.sw(x) | x.po
-            if self.is_transactional:
-                base = base | self.tsw(x)
-            return base.transitive_closure()
-
-        return x.context.get(f"cpp.hb.{variant}", compute)
+        return ir.evaluate(self._term("hb"), x)
 
     # ------------------------------------------------------------------
     # SC axiom (RC11 psc)
@@ -147,39 +197,11 @@ class CppModel(MemoryModel):
 
     def eco(self, x: Execution) -> Relation:
         """``eco = com+ = rf ∪ co ∪ fr ∪ (co;rf) ∪ (fr;rf)``."""
-        return x.context.get("cpp.eco", lambda: x.com.transitive_closure())
+        return ir.evaluate(self._term("eco"), x)
 
     def psc(self, x: Execution) -> Relation:
-        """The RC11 partial-SC relation, interned variant-keyed (its
-        ``hb`` input differs between the TM and baseline models)."""
-        variant = "tm" if self.is_transactional else "base"
-
-        def compute() -> Relation:
-            hb_rel = self.hb(x)
-            sc_id = Relation.from_set(x.sc_events, x.eids)
-            sc_fences = x.sc_events & x.fences
-            f_sc = Relation.from_set(sc_fences, x.eids)
-            hb_opt = hb_rel.optional()
-
-            po_neq_loc = x.po - x.sloc
-            hb_loc = hb_rel & x.sloc
-            scb = (
-                x.po
-                | po_neq_loc.compose(hb_rel).compose(po_neq_loc)
-                | hb_loc
-                | x.co
-                | x.fr
-            )
-            ends_left = sc_id | f_sc.compose(hb_opt)
-            ends_right = sc_id | hb_opt.compose(f_sc)
-            psc_base = ends_left.compose(scb).compose(ends_right)
-            eco = self.eco(x)
-            psc_fence = f_sc.compose(
-                hb_rel | hb_rel.compose(eco).compose(hb_rel)
-            ).compose(f_sc)
-            return psc_base | psc_fence
-
-        return x.context.get(f"cpp.psc.{variant}", compute)
+        """The RC11 partial-SC relation (``psc1 ∪ psc2``)."""
+        return ir.evaluate(self._term("psc"), x)
 
     # ------------------------------------------------------------------
     # Races (the separate NoRace predicate of Fig. 9)
@@ -187,73 +209,16 @@ class CppModel(MemoryModel):
 
     def conflicts(self, x: Execution) -> Relation:
         """``cnf = ((W×W) ∪ (R×W) ∪ (W×R)) ∩ sloc \\ id``."""
-
-        def compute() -> Relation:
-            w, r = x.writes, x.reads
-            shapes = (
-                Relation.cross(w, w, x.eids)
-                | Relation.cross(r, w, x.eids)
-                | Relation.cross(w, r, x.eids)
-            )
-            return (shapes & x.sloc).irreflexive_part()
-
-        return x.context.get(
-            "static:cpp.cnf",
-            lambda: global_intern(
-                ("cppcnf", x._intern_uid, x._loc_key, x._kind_key), compute
-            ),
-        )
+        return ir.evaluate(self._term("cnf"), x)
 
     def races(self, x: Execution) -> Relation:
         """Pairs witnessing a data race: conflicting, not both atomic,
         unordered by happens-before."""
-        hb = self.hb(x)
-        ato = x.atomics
-        both_atomic = Relation.cross(ato, ato, x.eids)
-        return self.conflicts(x) - both_atomic - (hb | hb.inverse())
+        return ir.evaluate(self._term("races"), x)
 
     def race_free(self, x: Execution) -> bool:
         """The NoRace predicate."""
         return self.races(x).is_empty()
-
-    # ------------------------------------------------------------------
-    # Axioms
-    # ------------------------------------------------------------------
-
-    def _com_star(self, x: Execution) -> Relation:
-        """``com*``, shared by HbCom across thunks and repeated calls
-        (identical for the TM and baseline variants)."""
-        return x.context.get(
-            "cpp.comstar", lambda: x.com.reflexive_transitive_closure()
-        )
-
-    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
-        # All derived relations route through x.context (variant-keyed
-        # where the TM/baseline values differ), so they are shared
-        # across thunks, repeated calls, and a skeleton's completions
-        # like in the other three models -- no call-local memo.
-        return [
-            ("NoThinAir", lambda: (x.po | x.rf).is_acyclic()),
-            ("RMWIsol", lambda: rmw_isolation_ok(x)),
-            (
-                "HbCom",
-                lambda: self.hb(x).compose(self._com_star(x)).is_irreflexive(),
-            ),
-            ("SeqCst", lambda: self.psc(x).is_acyclic()),
-        ]
-
-    def consistent(self, x: Execution) -> bool:
-        """Straight-line hot path mirroring ``axiom_thunks``, cheapest
-        axiom first; every derived relation is interned in ``x.context``
-        so repeated calls and rf/co completions share work."""
-        if not (x.po | x.rf).is_acyclic():
-            return False
-        if not rmw_isolation_ok(x):
-            return False
-        hb = self.hb(x)
-        if not hb.compose(self._com_star(x)).is_irreflexive():
-            return False
-        return self.psc(x).is_acyclic()
 
     # ------------------------------------------------------------------
     # Allowed behaviour: consistency + race-freedom caveat

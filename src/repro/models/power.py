@@ -24,454 +24,182 @@ TM additions (highlighted in Fig. 6):
   barrier": writes it observed propagate before its own writes;
 * ``tprop2 = stxn ; rfe`` -- transactional writes are multicopy-atomic;
 * ``StrongIsol``, ``TxnOrder``, and ``TxnCancelsRMW``.
+
+The ``ii``/``ic``/``ci``/``cc`` recursion is declared as an IR fixpoint
+group (clause for clause the same shape as ``cat/models/powertm.cat``,
+so the twin hash-conses into the same DAG); the executor interns the
+group's solution across executions keyed on its variable-free inputs,
+which is what the old hand-fused kernel's ``powerppor`` row cache did by
+hand.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from .. import ir
 from ..events import Execution
-from ..relations import Relation, weaklift
-from ..relations.context import global_intern
-from ..relations.relation import (
-    acyclic_rows_cached,
-    compose_rows,
-    rtc_rows_cached,
-)
-from .base import AxiomThunk, MemoryModel
-from .common import (
-    coherence_ok,
-    coherence_rows_ok,
-    comm_rows,
-    lifted_acyclic_rows_ok,
-    mask_of,
-    rmw_isolation_ok,
-    rmw_isolation_rows_ok,
-    strong_isolation_ok,
-    txn_cancels_rmw_ok,
-    txn_cancels_rmw_rows_ok,
-    txn_order_ok,
-)
+from ..relations import Relation
+from .base import IRModel
 
 
-class PowerModel(MemoryModel):
+@lru_cache(maxsize=None)
+def _terms(transactional: bool) -> dict[str, ir.Term]:
+    addr, data, po = ir.rel("addr"), ir.rel("data"), ir.rel("po")
+    poloc, ctrl, isync = ir.rel("poloc"), ir.rel("ctrl"), ir.rel("isync")
+    rfi, rfe = ir.rel("rfi"), ir.rel("rfe")
+    fre, coe, come = ir.rel("fre"), ir.rel("coe"), ir.rel("come")
+    sync, lwsync, tfence = ir.rel("sync"), ir.rel("lwsync"), ir.rel("tfence")
+    stxn = ir.rel("stxn")
+    reads_id = ir.setrel(ir.evset("R"))
+    writes_id = ir.setrel(ir.evset("W"))
+    writes, reads = ir.evset("W"), ir.evset("R")
+
+    # The herding-cats ppo recursion (power.cat): ii/ic/ci/cc relate the
+    # init (i) or commit (c) parts of instruction pairs.
+    dp = ir.union(addr, data)
+    rdw = ir.inter(poloc, ir.seq(fre, rfe))
+    detour = ir.inter(poloc, ir.seq(coe, rfe))
+    ii0 = ir.union(dp, rdw, rfi)
+    ci0 = ir.union(ir.inter(ctrl, isync), detour)
+    cc0 = ir.union(dp, poloc, ctrl, ir.seq(addr, po))
+    v_ii, v_ic, v_ci, v_cc = (ir.var(i) for i in range(4))
+    ii, ic, ci, cc = ir.fix(
+        [
+            ir.union(ii0, v_ci, ir.seq(v_ic, v_ci), ir.seq(v_ii, v_ii)),
+            ir.union(v_ii, v_cc, ir.seq(v_ic, v_cc), ir.seq(v_ii, v_ic)),
+            ir.union(ci0, ir.seq(v_ci, v_ii), ir.seq(v_cc, v_ci)),
+            ir.union(cc0, v_ci, ir.seq(v_ci, v_ic), ir.seq(v_cc, v_cc)),
+        ]
+    )
+
+    # Table 3, footnote 3: ctrl edges sourced at a store-exclusive (the
+    # spinlock's bne tests the stwcx. success flag) order it before
+    # later stores -- before everything when an isync intervenes.
+    wex_ctrl = ir.seq(ir.setrel(ir.evset("WEX")), ctrl)
+    wexctrl = ir.union(
+        ir.inter(wex_ctrl, isync), ir.seq(wex_ctrl, writes_id)
+    )
+    ppo = ir.union(
+        ir.seq(reads_id, ii, reads_id),
+        ir.seq(reads_id, ic, writes_id),
+        wexctrl,
+    )
+
+    # fence = sync | (lwsync \ W×R) | tfence (TM only).
+    fence_parts = [sync, ir.diff(lwsync, ir.cross(writes, reads))]
+    if transactional:
+        fence_parts.append(tfence)
+    fence = ir.union(*fence_parts)
+    ihb = ir.union(ppo, fence)
+
+    # Transaction happens-before (§5.2, Transaction Ordering): chains of
+    # ihb and external communication, excluding shapes that give no
+    # ordering on a non-multicopy-atomic machine.
+    fc = ir.star(ir.union(fre, coe))
+    thb = ir.seq(
+        ir.star(ir.union(rfe, ir.seq(fc, ihb))), fc, ir.opt(rfe)
+    )
+
+    rfe_opt = ir.opt(rfe)
+    hb = ir.seq(rfe_opt, ihb, rfe_opt)
+    if transactional:
+        hb = ir.union(hb, ir.weaklift(thb, stxn))
+    hb_star = ir.star(hb)
+
+    # Propagation (Fig. 6), with the TM terms tprop1/tprop2 (§5.2).
+    efence = ir.seq(rfe_opt, fence, rfe_opt)
+    prop1 = ir.seq(writes_id, efence, hb_star, writes_id)
+    heavy = ir.union(sync, tfence) if transactional else sync
+    prop2 = ir.seq(ir.star(come), ir.star(efence), hb_star, heavy, hb_star)
+    prop_parts = [prop1, prop2]
+    if transactional:
+        prop_parts.append(ir.seq(rfe, stxn, writes_id))  # tprop1
+        prop_parts.append(ir.seq(stxn, rfe))  # tprop2
+    prop = ir.union(*prop_parts)
+
+    return {
+        "ppo": ppo,
+        "fence": fence,
+        "ihb": ihb,
+        "thb": thb,
+        "hb": hb,
+        "hb_star": hb_star,
+        "prop": prop,
+    }
+
+
+@lru_cache(maxsize=None)
+def _plan(transactional: bool) -> ir.Plan:
+    terms = _terms(transactional)
+    com, stxn, rmw = ir.rel("com"), ir.rel("stxn"), ir.rel("rmw")
+    constraints = [
+        ir.acyclic("Coherence", ir.union(ir.rel("poloc"), com)),
+        ir.empty_c(
+            "RMWIsol", ir.inter(rmw, ir.seq(ir.rel("fre"), ir.rel("coe")))
+        ),
+        ir.acyclic("Order", terms["hb"]),
+        ir.acyclic("Propagation", ir.union(ir.rel("co"), terms["prop"])),
+        ir.irreflexive(
+            "Observation",
+            ir.seq(ir.rel("fre"), terms["prop"], terms["hb_star"]),
+        ),
+    ]
+    if transactional:
+        constraints.extend(
+            [
+                ir.acyclic("StrongIsol", ir.stronglift(com, stxn)),
+                ir.acyclic("TxnOrder", ir.stronglift(terms["hb"], stxn)),
+                ir.empty_c(
+                    "TxnCancelsRMW",
+                    ir.inter(rmw, ir.star(ir.rel("tfence"))),
+                ),
+            ]
+        )
+    return ir.compile_model(
+        "Power+TM" if transactional else "Power", constraints
+    )
+
+
+class PowerModel(IRModel):
     """Power, optionally with the paper's TM axioms."""
 
     def __init__(self, transactional: bool = True):
         self.is_transactional = transactional
         self.name = "Power+TM" if transactional else "Power"
 
-    def baseline(self) -> MemoryModel:
+    def baseline(self) -> "PowerModel":
         return PowerModel(transactional=False) if self.is_transactional else self
 
+    def plan(self) -> ir.Plan:
+        return _plan(self.is_transactional)
+
     # ------------------------------------------------------------------
-    # Preserved program order (herding-cats §6, power.cat)
+    # Derived relations (materialised views of the IR terms)
     # ------------------------------------------------------------------
 
     def ppo(self, x: Execution) -> Relation:
-        """The full herding-cats ppo recursion.
-
-        ``ii``/``ic``/``ci``/``cc`` relate the *init* (i) or *commit* (c)
-        parts of instruction pairs; the fixpoint is computed by simple
-        iteration, which terminates because each relation only grows
-        within a finite universe.  The result is identical for the TM and
-        baseline variants, so it is cached once per execution.
-        """
-        return x.context.get("power.ppo", lambda: self._compute_ppo(x))
-
-    def _compute_ppo(self, x: Execution) -> Relation:
-        dp = x.context.get("static:power.dp", lambda: x.addr | x.data)
-        rdw = x.poloc & x.fre.compose(x.rfe)
-        detour = x.poloc & x.coe.compose(x.rfe)
-        ctrl_isync = x.context.get(
-            "static:power.ctrlisync", lambda: x.ctrl & x.isync
-        )
-
-        ii0 = dp | rdw | x.rfi
-        ci0 = ctrl_isync | detour
-        ic0 = Relation.empty(x.eids)
-        cc0 = x.context.get(
-            "static:power.cc0",
-            lambda: dp | x.poloc | x.ctrl | x.addr.compose(x.po),
-        )
-
-        ii, ic, ci, cc = ii0, ic0, ci0, cc0
-        while True:
-            ii2 = ii0 | ci | ic.compose(ci) | ii.compose(ii)
-            ic2 = ic0 | ii | cc | ic.compose(cc) | ii.compose(ic)
-            ci2 = ci0 | ci.compose(ii) | cc.compose(ci)
-            cc2 = cc0 | ci | ci.compose(ic) | cc.compose(cc)
-            if (ii2, ic2, ci2, cc2) == (ii, ic, ci, cc):
-                break
-            ii, ic, ci, cc = ii2, ic2, ci2, cc2
-
-        reads, writes = x.reads, x.writes
-        return (
-            ii.restrict(reads, reads)
-            | ic.restrict(reads, writes)
-            | self._store_exclusive_ctrl(x)
-        )
-
-    def _store_exclusive_ctrl(self, x: Execution) -> Relation:
-        """Table 3, footnote 3: in Power, ctrl edges can begin at a
-        store-exclusive (the spinlock's ``bne`` tests the stwcx. success
-        flag).  Such a dependency orders the store-exclusive before
-        later *stores*, and -- when an isync intervenes (ctrl-isync) --
-        before every later access.  This is the mechanism that makes the
-        Power spinlock stronger than ARMv8's in §8.3."""
-        def compute() -> Relation:
-            wex = Relation.from_set(x.rmw.range(), x.eids)
-            wex_ctrl = wex.compose(x.ctrl)
-            w_id = Relation.from_set(x.writes, x.eids)
-            return (wex_ctrl & x.isync) | wex_ctrl.compose(w_id)
-
-        return x.context.get("static:power.wexctrl", compute)
-
-    # ------------------------------------------------------------------
-    # Fences and happens-before (Fig. 6)
-    # ------------------------------------------------------------------
+        """The full herding-cats ppo recursion (identical for the TM and
+        baseline variants)."""
+        return ir.evaluate(_terms(self.is_transactional)["ppo"], x)
 
     def fence(self, x: Execution) -> Relation:
         """``fence = sync ∪ tfence ∪ (lwsync \\ (W × R))``."""
-
-        def compute() -> Relation:
-            lwsync_effective = x.lwsync - Relation.cross(
-                x.writes, x.reads, x.eids
-            )
-            out = x.sync | lwsync_effective
-            if self.is_transactional:
-                out = out | x.tfence
-            return out
-
-        variant = "tm" if self.is_transactional else "base"
-        return x.context.get(f"static:power.fence.{variant}", compute)
+        return ir.evaluate(_terms(self.is_transactional)["fence"], x)
 
     def ihb(self, x: Execution) -> Relation:
         """Intra-thread happens-before: ``ppo ∪ fence``."""
-        variant = "tm" if self.is_transactional else "base"
-        return x.context.get(
-            f"power.ihb.{variant}", lambda: self.ppo(x) | self.fence(x)
-        )
+        return ir.evaluate(_terms(self.is_transactional)["ihb"], x)
 
     def thb(self, x: Execution) -> Relation:
-        """Transaction happens-before (§5.2, Transaction Ordering):
-        ``thb = (rfe ∪ ((fre ∪ coe)* ; ihb))* ; (fre ∪ coe)* ; rfe?``.
-
-        Chains of ihb and external communication, excluding those where
-        an fre/coe is followed by an rfe that does not end the chain --
-        such shapes give no ordering on a non-multicopy-atomic machine.
-        """
-        variant = "tm" if self.is_transactional else "base"
-
-        def compute() -> Relation:
-            ihb = self.ihb(x)
-            fc = (x.fre | x.coe).reflexive_transitive_closure()
-            head = (x.rfe | fc.compose(ihb)).reflexive_transitive_closure()
-            return head.compose(fc).compose(x.rfe.optional())
-
-        return x.context.get(f"power.thb.{variant}", compute)
+        """Transaction happens-before (§5.2):
+        ``thb = (rfe ∪ ((fre ∪ coe)* ; ihb))* ; (fre ∪ coe)* ; rfe?``."""
+        return ir.evaluate(_terms(self.is_transactional)["thb"], x)
 
     def hb(self, x: Execution) -> Relation:
         """``hb = (rfe? ; ihb ; rfe?) ∪ weaklift(thb, stxn)``."""
-        ihb = self.ihb(x)
-        rfe_opt = x.rfe.optional()
-        base = rfe_opt.compose(ihb).compose(rfe_opt)
-        if self.is_transactional:
-            base = base | weaklift(self.thb(x), x.stxn)
-        return base
+        return ir.evaluate(_terms(self.is_transactional)["hb"], x)
 
-    # ------------------------------------------------------------------
-    # Propagation (Fig. 6)
-    # ------------------------------------------------------------------
-
-    def prop(self, x: Execution, hb: Relation) -> Relation:
-        fence = self.fence(x)
-        rfe_opt = x.rfe.optional()
-        efence = rfe_opt.compose(fence).compose(rfe_opt)
-        hb_star = hb.reflexive_transitive_closure()
-        w_id = Relation.from_set(x.writes, x.eids)
-
-        prop1 = w_id.compose(efence).compose(hb_star).compose(w_id)
-        heavy = x.sync | x.tfence if self.is_transactional else x.sync
-        prop2 = (
-            x.come.reflexive_transitive_closure()
-            .compose(efence.reflexive_transitive_closure())
-            .compose(hb_star)
-            .compose(heavy)
-            .compose(hb_star)
-        )
-        out = prop1 | prop2
-        if self.is_transactional:
-            tprop1 = x.rfe.compose(x.stxn).compose(w_id)
-            tprop2 = x.stxn.compose(x.rfe)
-            out = out | tprop1 | tprop2
-        return out
-
-    # ------------------------------------------------------------------
-    # Axioms
-    # ------------------------------------------------------------------
-
-    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
-        memo = x.context
-        variant = "tm" if self.is_transactional else "base"
-        hb = lambda: memo.get(f"power.hb.{variant}", lambda: self.hb(x))
-        prop = lambda: memo.get(
-            f"power.prop.{variant}", lambda: self.prop(x, hb())
-        )
-        hb_star = lambda: memo.get(
-            f"power.hbstar.{variant}",
-            lambda: hb().reflexive_transitive_closure(),
-        )
-        thunks: list[AxiomThunk] = [
-            ("Coherence", lambda: coherence_ok(x)),
-            ("RMWIsol", lambda: rmw_isolation_ok(x)),
-            ("Order", lambda: hb().is_acyclic()),
-            ("Propagation", lambda: (x.co | prop()).is_acyclic()),
-            (
-                "Observation",
-                lambda: x.fre.compose(prop()).compose(hb_star()).is_irreflexive(),
-            ),
-        ]
-        if self.is_transactional:
-            thunks.extend(
-                [
-                    ("StrongIsol", lambda: strong_isolation_ok(x)),
-                    ("TxnOrder", lambda: txn_order_ok(x, hb())),
-                    ("TxnCancelsRMW", lambda: txn_cancels_rmw_ok(x)),
-                ]
-            )
-        return thunks
-
-    # ------------------------------------------------------------------
-    # Fused row-level consistency kernel
-    # ------------------------------------------------------------------
-
-    def _read_write_masks(self, x: Execution, uni) -> tuple[int, int]:
-        """Bitmasks of the read/write positions, skeleton-static."""
-        return x.context.get(
-            "static:power.rwmasks",
-            lambda: (mask_of(uni, x.reads), mask_of(uni, x.writes)),
-        )
-
-    def _ppo_rows(self, x: Execution, uni, rfi, rfe, fre, coe) -> tuple[int, ...]:
-        """Rows of the herding-cats ``ppo`` (identical for TM/baseline).
-
-        The rf/co-dependent seeds ``ii0``/``ci0`` are assembled at row
-        level; the fixpoint result is interned globally, keyed by every
-        input it reads (seeds, ``cc0``, ``wexctrl``, and the read/write
-        restriction masks via the kind key), so completions that derive
-        the same seeds share one fixpoint run.
-        """
-        dp = x.context.get("static:power.dp", lambda: x.addr | x.data)
-        ctrl_isync = x.context.get(
-            "static:power.ctrlisync", lambda: x.ctrl & x.isync
-        )
-        cc0 = x.context.get(
-            "static:power.cc0",
-            lambda: dp | x.poloc | x.ctrl | x.addr.compose(x.po),
-        )
-        wexctrl = self._store_exclusive_ctrl(x)
-
-        poloc = x.poloc._rows
-        rdw = [p & q for p, q in zip(poloc, compose_rows(fre, rfe))]
-        detour = [p & q for p, q in zip(poloc, compose_rows(coe, rfe))]
-        ii0 = tuple(d | r | f for d, r, f in zip(dp._rows, rdw, rfi))
-        ci0 = tuple(c | d for c, d in zip(ctrl_isync._rows, detour))
-
-        key = (
-            "powerppor",
-            x._intern_uid,
-            x._kind_key,
-            ii0,
-            ci0,
-            cc0._rows,
-            wexctrl._rows,
-        )
-        return global_intern(
-            key,
-            lambda: self._ppo_fixpoint_rows(
-                x, uni, ii0, ci0, cc0._rows, wexctrl._rows
-            ),
-        )
-
-    def _ppo_fixpoint_rows(
-        self, x: Execution, uni, ii0, ci0, cc0, wexctrl
-    ) -> tuple[int, ...]:
-        n = len(ii0)
-        ii, ic, ci, cc = list(ii0), [0] * n, list(ci0), list(cc0)
-        while True:
-            ii2 = [
-                a | b | c | d
-                for a, b, c, d in zip(
-                    ii0, ci, compose_rows(ic, ci), compose_rows(ii, ii)
-                )
-            ]
-            ic2 = [
-                a | b | c | d
-                for a, b, c, d in zip(
-                    ii, cc, compose_rows(ic, cc), compose_rows(ii, ic)
-                )
-            ]
-            ci2 = [
-                a | b | c
-                for a, b, c in zip(
-                    ci0, compose_rows(ci, ii), compose_rows(cc, ci)
-                )
-            ]
-            cc2 = [
-                a | b | c | d
-                for a, b, c, d in zip(
-                    cc0, ci, compose_rows(ci, ic), compose_rows(cc, cc)
-                )
-            ]
-            if ii2 == ii and ic2 == ic and ci2 == ci and cc2 == cc:
-                break
-            ii, ic, ci, cc = ii2, ic2, ci2, cc2
-
-        rmask, wmask = self._read_write_masks(x, uni)
-        out = []
-        for i, wrow in enumerate(wexctrl):
-            if rmask >> i & 1:
-                out.append((ii[i] & rmask) | (ic[i] & wmask) | wrow)
-            else:
-                out.append(wrow)
-        return tuple(out)
-
-    def consistent(self, x: Execution) -> bool:
-        """Fused row-level consistency kernel (see ``X86Model``).
-
-        Evaluates the ppo fixpoint, ``thb``, ``hb``, and ``prop``
-        directly over adjacency-bitset rows, with the per-execution
-        results interned variant-keyed in ``x.context`` and the closures
-        interned globally.  Verdict-identical to the generic
-        ``axiom_thunks`` conjunction (property-tested), which remains
-        the source of truth for diagnostics.
-        """
-        comm = comm_rows(x)
-        if comm is None:
-            # Mixed universes (hand-built executions): generic path.
-            return all(thunk() for _, thunk in self.axiom_thunks(x))
-        uni, rf_rows, co_rows, fr_rows = comm
-
-        if not coherence_rows_ok(x, uni, rf_rows, co_rows, fr_rows):
-            return False
-        same = x.same_thread._rows
-        if not rmw_isolation_rows_ok(x, same, co_rows, fr_rows):
-            return False
-
-        memo = x.context
-        tm = self.is_transactional
-        variant = "tm" if tm else "base"
-
-        rfe = [r & ~t for r, t in zip(rf_rows, same)]
-        rfi = [r & t for r, t in zip(rf_rows, same)]
-        fre = [f & ~t for f, t in zip(fr_rows, same)]
-        coe = [c & ~t for c, t in zip(co_rows, same)]
-
-        ppo = memo.get(
-            "power.ppo.rows",
-            lambda: self._ppo_rows(x, uni, rfi, rfe, fre, coe),
-        )
-        fence = self.fence(x)._rows
-        ihb = [p | f for p, f in zip(ppo, fence)]
-        rfe_opt = [r | (1 << i) for i, r in enumerate(rfe)]
-
-        def hb_rows_compute() -> tuple[int, ...]:
-            base = compose_rows(compose_rows(rfe_opt, ihb), rfe_opt)
-            if tm and x.txn_of:
-                # thb = (rfe ∪ (fre ∪ coe)* ; ihb)* ; (fre ∪ coe)* ; rfe?
-                fc = rtc_rows_cached(
-                    uni, tuple(f | c for f, c in zip(fre, coe))
-                )
-                head = rtc_rows_cached(
-                    uni,
-                    tuple(
-                        r | q for r, q in zip(rfe, compose_rows(fc, ihb))
-                    ),
-                )
-                thb = compose_rows(compose_rows(head, fc), rfe_opt)
-                # weaklift(thb, stxn) = stxn ; (thb \ stxn) ; stxn
-                stxn = x.stxn._rows
-                lifted = compose_rows(
-                    compose_rows(
-                        stxn, [t & ~s for t, s in zip(thb, stxn)]
-                    ),
-                    stxn,
-                )
-                return tuple(b | w for b, w in zip(base, lifted))
-            return tuple(base)
-
-        hb = memo.get(f"power.hb.rows.{variant}", hb_rows_compute)
-        if not acyclic_rows_cached(uni, hb):
-            return False
-
-        hb_star = memo.get(
-            f"power.hbstar.rows.{variant}",
-            lambda: rtc_rows_cached(uni, hb),
-        )
-
-        def prop_rows_compute() -> tuple[int, ...]:
-            _, wmask = self._read_write_masks(x, uni)
-            efence = compose_rows(compose_rows(rfe_opt, fence), rfe_opt)
-            efence_hbstar = compose_rows(efence, hb_star)
-            prop1 = [
-                (row & wmask) if wmask >> i & 1 else 0
-                for i, row in enumerate(efence_hbstar)
-            ]
-            heavy = x.sync._rows
-            if tm:
-                heavy = [s | t for s, t in zip(heavy, x.tfence._rows)]
-            come_star = rtc_rows_cached(
-                uni, tuple(a | b | c for a, b, c in zip(rfe, coe, fre))
-            )
-            efence_star = rtc_rows_cached(uni, tuple(efence))
-            prop2 = compose_rows(
-                compose_rows(
-                    compose_rows(compose_rows(come_star, efence_star), hb_star),
-                    heavy,
-                ),
-                hb_star,
-            )
-            out = [a | b for a, b in zip(prop1, prop2)]
-            if tm and x.txn_of:
-                stxn = x.stxn._rows
-                tprop1 = [
-                    row & wmask for row in compose_rows(rfe, stxn)
-                ]
-                tprop2 = compose_rows(stxn, rfe)
-                out = [
-                    o | a | b for o, a, b in zip(out, tprop1, tprop2)
-                ]
-            return tuple(out)
-
-        prop = memo.get(f"power.prop.rows.{variant}", prop_rows_compute)
-
-        # Propagation: acyclic(co ∪ prop).
-        if not acyclic_rows_cached(
-            uni, tuple(c | p for c, p in zip(co_rows, prop))
-        ):
-            return False
-
-        # Observation: irreflexive(fre ; prop ; hb*).
-        obs = compose_rows(compose_rows(fre, prop), hb_star)
-        if any(row >> i & 1 for i, row in enumerate(obs)):
-            return False
-
-        if tm:
-            if x.txn_of:
-                com = [
-                    a | b | c for a, b, c in zip(rf_rows, co_rows, fr_rows)
-                ]
-                if not lifted_acyclic_rows_ok(x, uni, com):
-                    return False
-                if not lifted_acyclic_rows_ok(x, uni, hb):
-                    return False
-            else:
-                # stxn? is the identity: StrongIsol degenerates to
-                # acyclic(com); TxnOrder to acyclic(hb), checked above.
-                com = tuple(
-                    a | b | c for a, b, c in zip(rf_rows, co_rows, fr_rows)
-                )
-                if not acyclic_rows_cached(uni, com):
-                    return False
-            if not txn_cancels_rmw_rows_ok(x):
-                return False
-        return True
+    def prop(self, x: Execution) -> Relation:
+        """The propagation order (Fig. 6), including tprop1/tprop2."""
+        return ir.evaluate(_terms(self.is_transactional)["prop"], x)

@@ -16,22 +16,46 @@ this subsumption on enumerated executions.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from .. import ir
 from ..events import Execution
-from ..relations import Relation, stronglift
-from .base import AxiomThunk, MemoryModel
+from ..relations import Relation
+from .base import IRModel
 
 
-class SCModel(MemoryModel):
+def _hb() -> ir.Term:
+    return ir.union(ir.rel("po"), ir.rel("com"))
+
+
+@lru_cache(maxsize=None)
+def _sc_plan() -> ir.Plan:
+    return ir.compile_model("SC", [ir.acyclic("Order", _hb())])
+
+
+@lru_cache(maxsize=None)
+def _tsc_plan() -> ir.Plan:
+    hb = _hb()
+    return ir.compile_model(
+        "TSC",
+        [
+            ir.acyclic("Order", hb),
+            ir.acyclic("TxnOrder", ir.stronglift(hb, ir.rel("stxn"))),
+        ],
+    )
+
+
+class SCModel(IRModel):
     """Sequential consistency (Fig. 4 without the highlight)."""
 
     name = "SC"
     is_transactional = False
 
-    def hb(self, x: Execution) -> Relation:
-        return x.po | x.com
+    def plan(self) -> ir.Plan:
+        return _sc_plan()
 
-    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
-        return [("Order", lambda: self.hb(x).is_acyclic())]
+    def hb(self, x: Execution) -> Relation:
+        return ir.evaluate(_hb(), x)
 
 
 class TSCModel(SCModel):
@@ -45,12 +69,8 @@ class TSCModel(SCModel):
     name = "TSC"
     is_transactional = True
 
-    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
-        hb = self.hb(x)
-        return [
-            ("Order", hb.is_acyclic),
-            ("TxnOrder", lambda: stronglift(hb, x.stxn).is_acyclic()),
-        ]
+    def plan(self) -> ir.Plan:
+        return _tsc_plan()
 
-    def baseline(self) -> MemoryModel:
+    def baseline(self) -> SCModel:
         return SCModel()

@@ -17,189 +17,95 @@ TM additions (highlighted in Fig. 5):
 * ``StrongIsol`` -- TSX conflicts are defined against *any* other logical
   processor, transactional or not;
 * ``TxnOrder`` -- transactions appear to execute instantaneously.
+
+The axioms are declared as IR terms (mirroring ``cat/models/x86tm.cat``
+clause for clause, so the Python model and its ``.cat`` twin hash-cons
+into the same DAG) and evaluated by the shared executor: the planner
+hoists the skeleton-static part of ``hb`` (``mfence ∪ ppo ∪ implied``)
+into one interned node shared across a skeleton's rf/co completions --
+what an earlier hand-fused kernel spelled ``_hb_static``.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from .. import ir
 from ..events import Execution
 from ..relations import Relation
-from ..relations.context import global_intern
-from ..relations.relation import acyclic_rows_cached
-from .base import AxiomThunk, MemoryModel
-from .common import (
-    coherence_ok,
-    coherence_rows_ok,
-    comm_rows,
-    lifted_acyclic_rows_ok,
-    rmw_isolation_ok,
-    rmw_isolation_rows_ok,
-    strong_isolation_ok,
-    txn_order_ok,
-)
+from .base import IRModel
 
 
-class X86Model(MemoryModel):
+@lru_cache(maxsize=None)
+def _terms(transactional: bool) -> dict[str, ir.Term]:
+    writes, reads = ir.evset("W"), ir.evset("R")
+    po = ir.rel("po")
+    ppo = ir.inter(
+        ir.union(
+            ir.cross(writes, writes),
+            ir.cross(reads, writes),
+            ir.cross(reads, reads),
+        ),
+        po,
+    )
+    locked = ir.setrel(ir.evset("LKD"))
+    implied_parts = [ir.seq(locked, po), ir.seq(po, locked)]
+    if transactional:
+        implied_parts.append(ir.rel("tfence"))
+    implied = ir.union(*implied_parts)
+    hb = ir.union(
+        ir.rel("mfence"), ppo, implied, ir.rel("rfe"), ir.rel("fr"), ir.rel("co")
+    )
+    return {"ppo": ppo, "implied": implied, "hb": hb}
+
+
+@lru_cache(maxsize=None)
+def _plan(transactional: bool) -> ir.Plan:
+    terms = _terms(transactional)
+    com, stxn = ir.rel("com"), ir.rel("stxn")
+    constraints = [
+        ir.acyclic("Coherence", ir.union(ir.rel("poloc"), com)),
+        ir.empty_c(
+            "RMWIsol",
+            ir.inter(ir.rel("rmw"), ir.seq(ir.rel("fre"), ir.rel("coe"))),
+        ),
+        ir.acyclic("Order", terms["hb"]),
+    ]
+    if transactional:
+        constraints.extend(
+            [
+                ir.acyclic("StrongIsol", ir.stronglift(com, stxn)),
+                ir.acyclic("TxnOrder", ir.stronglift(terms["hb"], stxn)),
+            ]
+        )
+    return ir.compile_model("x86+TM" if transactional else "x86", constraints)
+
+
+class X86Model(IRModel):
     """x86-TSO, optionally with the paper's TSX axioms."""
 
     def __init__(self, transactional: bool = True):
         self.is_transactional = transactional
         self.name = "x86+TM" if transactional else "x86"
 
-    def baseline(self) -> MemoryModel:
+    def baseline(self) -> "X86Model":
         return X86Model(transactional=False) if self.is_transactional else self
 
+    def plan(self) -> ir.Plan:
+        return _plan(self.is_transactional)
+
     # ------------------------------------------------------------------
-    # Derived relations
+    # Derived relations (materialised views of the IR terms)
     # ------------------------------------------------------------------
 
     def ppo(self, x: Execution) -> Relation:
         """Preserved program order: everything but W→R reordering."""
-
-        def compute() -> Relation:
-            # ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po, computed as two restrictions
-            # of po: memory events into writes, plus reads into reads.
-            w, r = x.writes, x.reads
-            return x.po.restrict(w | r, w) | x.po.restrict(r, r)
-
-        return x.context.get(
-            "static:x86.ppo",
-            lambda: global_intern(
-                ("x86ppo", x._intern_uid, x.threads, x._kind_key), compute
-            ),
-        )
+        return ir.evaluate(_terms(self.is_transactional)["ppo"], x)
 
     def implied(self, x: Execution) -> Relation:
         """Fences implied by LOCK'd instructions -- and, with TM, by
         transaction boundaries."""
-
-        def compute() -> Relation:
-            if x.rmw.is_empty():
-                # No LOCK'd instructions: only transaction boundaries
-                # (if any) imply fences.
-                if self.is_transactional:
-                    return x.tfence
-                return Relation.empty(x.eids)
-            locked = x.rmw.domain() | x.rmw.range()
-            locked_id = Relation.from_set(locked, x.eids)
-            out = locked_id.compose(x.po) | x.po.compose(locked_id)
-            if self.is_transactional:
-                out = out | x.tfence
-            return out
-
-        variant = "tm" if self.is_transactional else "base"
-        return x.context.get(
-            f"static:x86.implied.{variant}",
-            lambda: global_intern(
-                (
-                    "x86implied",
-                    variant,
-                    x._intern_uid,
-                    x.threads,
-                    x.rmw._rows,
-                    x._txn_key,
-                ),
-                compute,
-            ),
-        )
-
-    def _hb_static(self, x: Execution) -> Relation:
-        """``mfence ∪ ppo ∪ implied`` -- the skeleton-static part of hb,
-        interned across executions sharing the same inputs."""
-        variant = "tm" if self.is_transactional else "base"
-        return x.context.get(
-            f"static:x86.hbbase.{variant}",
-            lambda: global_intern(
-                (
-                    "x86hbb",
-                    variant,
-                    x._intern_uid,
-                    x.threads,
-                    x._kind_key,
-                    x.mfence._rows,
-                    x.rmw._rows,
-                    x._txn_key,
-                ),
-                lambda: x.mfence | self.ppo(x) | self.implied(x),
-            ),
-        )
+        return ir.evaluate(_terms(self.is_transactional)["implied"], x)
 
     def hb(self, x: Execution) -> Relation:
-        # mfence/ppo/implied depend only on the skeleton; rfe/fr/co are
-        # the per-candidate communication part.
-        return Relation.union_of(self._hb_static(x), x.rfe, x.fr, x.co)
-
-    # ------------------------------------------------------------------
-    # Axioms
-    # ------------------------------------------------------------------
-
-    def axiom_thunks(self, x: Execution) -> list[AxiomThunk]:
-        variant = "tm" if self.is_transactional else "base"
-        hb = lambda: x.context.get(f"x86.hb.{variant}", lambda: self.hb(x))
-        thunks: list[AxiomThunk] = [
-            ("Coherence", lambda: coherence_ok(x)),
-            ("RMWIsol", lambda: rmw_isolation_ok(x)),
-            ("Order", lambda: hb().is_acyclic()),
-        ]
-        if self.is_transactional:
-            thunks.extend(
-                [
-                    ("StrongIsol", lambda: strong_isolation_ok(x)),
-                    ("TxnOrder", lambda: txn_order_ok(x, hb())),
-                ]
-            )
-        return thunks
-
-    def consistent(self, x: Execution) -> bool:
-        """Fused row-level consistency kernel.
-
-        This is the hottest call in enumeration loops, so the axioms are
-        evaluated directly over adjacency-bitset rows -- no intermediate
-        :class:`Relation` objects.  It is verdict-identical to the
-        generic ``axiom_thunks`` conjunction (property-tested), which
-        remains the source of truth for diagnostics.
-        """
-        comm = comm_rows(x)
-        if comm is None:
-            # Mixed universes (hand-built executions): generic path.
-            return all(thunk() for _, thunk in self.axiom_thunks(x))
-        uni, rf_rows, co_rows, fr_rows = comm
-
-        # Coherence: acyclic(poloc ∪ rf ∪ co ∪ fr).
-        if not coherence_rows_ok(x, uni, rf_rows, co_rows, fr_rows):
-            return False
-
-        same_thread = x.same_thread._rows
-
-        # RMWIsol: empty(rmw ∩ (fre ; coe)).
-        if not rmw_isolation_rows_ok(x, same_thread, co_rows, fr_rows):
-            return False
-
-        # Order: acyclic(hb), hb = (mfence ∪ ppo ∪ implied) ∪ rfe ∪ fr ∪ co.
-        static = self._hb_static(x)
-        hb_rows = tuple(
-            s | (r & ~t) | f | c
-            for s, r, t, f, c in zip(
-                static._rows, rf_rows, same_thread, fr_rows, co_rows
-            )
-        )
-        if not acyclic_rows_cached(uni, hb_rows):
-            return False
-
-        if self.is_transactional:
-            if x.txn_of:
-                com = [a | b | c for a, b, c in zip(rf_rows, co_rows, fr_rows)]
-                # StrongIsol: acyclic(stxn? ; (com \ stxn) ; stxn?).
-                if not lifted_acyclic_rows_ok(x, uni, com):
-                    return False
-                # TxnOrder: acyclic(stxn? ; (hb \ stxn) ; stxn?).
-                if not lifted_acyclic_rows_ok(x, uni, hb_rows):
-                    return False
-            else:
-                # stxn? is the identity: StrongIsol degenerates to
-                # acyclic(com); TxnOrder to acyclic(hb), checked above.
-                com = tuple(
-                    a | b | c for a, b, c in zip(rf_rows, co_rows, fr_rows)
-                )
-                if not acyclic_rows_cached(uni, com):
-                    return False
-        return True
+        return ir.evaluate(_terms(self.is_transactional)["hb"], x)

@@ -90,7 +90,7 @@ def _decode(mask: int, elements: tuple[int, ...]) -> Iterator[int]:
 
 # ---------------------------------------------------------------------------
 # Raw-row kernels.  These operate on plain lists/tuples of int bitmasks so
-# that fused hot paths (the models' consistency kernels) can chain them
+# that hot paths (the IR executor's node evaluators) can chain them
 # without allocating intermediate Relation objects; the Relation methods
 # delegate to them.
 # ---------------------------------------------------------------------------

@@ -1,24 +1,22 @@
-"""The compiled cat path: one compilation per parsed model, and
-skeleton-static bindings interned through the ``static:`` context keys.
+"""The lowered cat path: one AST→IR lowering per parsed model, running
+on the shared planner/executor.
 
-``tests/test_cat_models_agree.py`` pins the compiled evaluator's
-verdicts against the native models; these tests pin its *caching*
-behaviour.
+``tests/test_cat_models_agree.py`` pins the lowered evaluator's
+verdicts against the native models; these tests pin the *lowering*
+itself -- plan sharing, hash-cons unification with the Python twins,
+static classification, ``static:`` interning/adoption, let-rec kinds,
+and error behaviour.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import ir
 from repro.cat import load_cat_model, parse
-from repro.cat.eval import (
-    CatModel,
-    _CompiledLet,
-    _CompiledRun,
-    _compile_model,
-)
+from repro.cat.eval import CatModel, _compile_model
 from repro.events import ExecutionBuilder
-from repro.relations import Relation
+from repro.models import get_model
 
 
 def _execution():
@@ -31,113 +29,125 @@ def _execution():
 
 
 def test_compilation_shared_across_instances():
-    """Loading the same bundled model twice reuses one compiled program
-    (and therefore one static-cache namespace)."""
+    """Loading the same bundled model twice reuses one lowered plan
+    (and therefore one term DAG and one per-execution cache space)."""
     first = load_cat_model("powertm")
     second = load_cat_model("powertm")
-    assert first._steps is second._steps
-    assert first._namespace == second._namespace
+    assert first.plan() is second.plan()
 
 
-def test_distinct_models_get_distinct_namespaces():
+def test_distinct_models_get_distinct_plans():
     a = CatModel(parse('"m" let s = po acyclic s as A'))
     b = CatModel(parse('"m" let s = po | poloc acyclic s as A'))
-    assert a._namespace != b._namespace
+    assert a.plan() is not b.plan()
+
+
+def test_cat_twin_terms_unify_with_python_models():
+    """Hash-consing makes the two encodings *literally share terms*:
+    the cat SC model's ``po | com`` is the same object as the Python
+    ``SCModel``'s, so their per-execution values and Order verdicts can
+    never diverge -- agreement is structural, not coincidental."""
+    cat_plan = load_cat_model("sc").plan()
+    native_plan = get_model("sc").plan()
+    assert cat_plan is not native_plan
+    assert cat_plan.constraints[0].term is native_plan.constraints[0].term
+    # ...and the shared (kind, term) pair shares one verdict-memo key.
+    assert cat_plan.constraints[0].vkey == native_plan.constraints[0].vkey
 
 
 def test_static_classification():
-    """Bindings over skeleton-static identifiers are classified static;
-    anything touching rf/co-derived relations is not.  Staticness flows
-    through earlier static bindings."""
-    model = parse(
-        '"m" '
-        "let fences = sync | lwsync "
-        "let ord = fences | po "
-        "let obs = rf | co "
-        "let mixed = ord | obs "
-        "acyclic mixed as A"
+    """Bindings over skeleton-static identifiers lower to static terms;
+    anything touching rf/co-derived relations is dynamic.  Staticness
+    flows through earlier static bindings."""
+    plan = _compile_model(
+        parse(
+            '"m" '
+            "let fences = sync | lwsync "
+            "let ord = fences | po "
+            "let obs = rf | co "
+            "let mixed = ord | obs "
+            "acyclic fences as A "
+            "acyclic ord as B "
+            "acyclic obs as C "
+            "acyclic mixed as D"
+        )
     )
-    steps, _ = _compile_model(model)
-    lets = [s for s in steps if isinstance(s, _CompiledLet)]
-    flags = {let.bindings[0].name: let.static for let in lets}
-    assert flags == {
-        "fences": True,
-        "ord": True,
-        "obs": False,
-        "mixed": False,
-    }
+    flags = {c.name: c.term.static for c in plan.constraints}
+    assert flags == {"A": True, "B": True, "C": False, "D": False}
 
 
 def test_dynamic_shadowing_revokes_staticness():
     """A dynamic let shadowing a static name (here the builtin sloc)
     makes later readers of that name dynamic: their values depend on
     rf/co and must not be interned under a static: key."""
-    model = parse(
-        '"m" let sloc = rf | co let q = sloc acyclic q as A'
+    plan = _compile_model(
+        parse('"m" let sloc = rf | co let q = sloc acyclic q as A')
     )
-    steps, _ = _compile_model(model)
-    lets = [s for s in steps if isinstance(s, _CompiledLet)]
-    flags = {let.bindings[0].name: let.static for let in lets}
-    assert flags == {"sloc": False, "q": False}
+    (constraint,) = plan.constraints
+    assert not constraint.term.static
+    assert constraint.term.skey is None
 
 
 def test_static_bindings_interned_per_execution():
-    """A static let's values land in the execution's RelationContext
-    under a ``static:`` key (the prefix the skeleton cache-adoption
-    machinery shares across rf/co completions), and a second run -- even
-    from a distinct CatModel instance over the same AST -- reuses them
-    without re-evaluating."""
-    source = '"m" let ord = po | poloc let com2 = rf | co acyclic ord | com2 as A'
+    """A static binding's value lands in the execution's
+    RelationContext under its term's mechanical ``static:ir.n{uid}``
+    key, and is reused by any other model whose lowering produced the
+    same hash-consed term.  (The closure keeps it above the intern cost
+    floor; trivially cheap static terms are recomputed instead.)"""
+    source = '"m" let ord = (po | poloc)+ acyclic ord | rf as A'
     x = _execution()
     cat = CatModel(parse(source))
     assert cat.consistent(x)
-    static_keys = [
-        k for k in x.context._cache if k.startswith(f"static:{cat._namespace}")
+    (constraint,) = cat.plan().constraints
+    static_roots = [
+        t
+        for t in constraint.term.args
+        if t.static and t.intern_root
     ]
-    assert len(static_keys) == 1
-    cached = x.context._cache[static_keys[0]]
-    assert set(cached) == {"ord"}
-    assert isinstance(cached["ord"], Relation)
-
-    # Second run over the same execution: the static let must not be
-    # re-evaluated.
-    calls = {"n": 0}
-    original = _CompiledRun._eval_let
-
-    def counting(self, step):
-        calls["n"] += 1
-        return original(self, step)
-
-    _CompiledRun._eval_let = counting
-    try:
-        again = CatModel(parse(source))
-        assert again.consistent(x)
-    finally:
-        _CompiledRun._eval_let = original
-    # Only the dynamic let (com2) was re-evaluated.
-    assert calls["n"] == 1
+    assert static_roots, "the static part of the axiom must be hoisted"
+    for term in static_roots:
+        assert term.skey.startswith("static:ir.")
+        assert term.skey in x.context._cache
 
 
 def test_static_bindings_adopted_across_completions():
     """Completions of one skeleton share the static cat bindings through
-    ``Execution.adopt_skeleton_caches`` -- same mechanism as the native
-    models' ``static:`` relations."""
-    cat = CatModel(parse('"m" let ord = po | poloc acyclic ord | rf as A'))
+    ``Execution.adopt_skeleton_caches`` -- same mechanism, same keys, as
+    the native models' static subterms."""
+    cat = CatModel(parse('"m" let ord = (po | poloc)+ acyclic ord | rf as A'))
     template = _execution()
     assert cat.consistent(template)
-    key = f"static:{cat._namespace}.let0"
-    assert key in template.context._cache
-
+    (constraint,) = cat.plan().constraints
+    keys = [
+        t.skey for t in constraint.term.args if t.static and t.intern_root
+    ]
+    assert keys
     sibling = _execution().adopt_skeleton_caches(template)
-    assert key in sibling.context._cache
-    assert (
-        sibling.context._cache[key] is template.context._cache[key]
+    for key in keys:
+        assert key in sibling.context._cache
+        assert sibling.context._cache[key] is template.context._cache[key]
+
+
+def test_letrec_lowers_to_fix_group():
+    """A ``let rec`` group lowers to one IR fixpoint group, shared by
+    hash-consing across equal ASTs (the Power ppo recursion's cache)."""
+    source = (
+        '"m" let rec ii = rfi | ci and ci = ii ; po '
+        "acyclic ii as A irreflexive ci as B"
     )
+    plan_a = _compile_model(parse(source))
+    plan_b = _compile_model(parse(source.replace('"m"', '"m2"')))
+    a_ii, a_ci = (c.term for c in plan_a.constraints)
+    assert a_ii.op == "fix" and a_ci.op == "fix"
+    assert a_ii.group is a_ci.group
+    b_ii = plan_b.constraints[0].term
+    assert b_ii is a_ii  # same bodies → same hash-consed group
 
 
-def test_compiled_letrec_seeds_set_kind():
-    """The compiled let-rec path seeds set-valued bindings from the
-    empty set (same fix as the AST-walking evaluator)."""
+def test_letrec_seeds_set_kind():
+    """Set-valued let-rec bindings are seeded from the empty set (same
+    kind inference as the AST-walking evaluator), so a recursive *set*
+    definition lowers and runs without a spurious type error."""
     cat = CatModel(
         parse(
             '"m" let rec obs = W | range([obs] ; rf) '
@@ -148,18 +158,31 @@ def test_compiled_letrec_seeds_set_kind():
     assert cat.consistent(x)
 
 
-def test_compiled_error_messages_match_evaluator():
-    """The compiled closures raise the same cat errors as the walker."""
+def test_lowering_errors_match_evaluator():
+    """Lowering raises the same cat errors, with the same messages, as
+    the walker -- now at model-construction time instead of first use."""
     from repro.cat import CatNameError, CatTypeError
 
+    with pytest.raises(CatNameError, match="undefined identifier 'nonsense'"):
+        CatModel(parse('"m" acyclic nonsense as A'))
+    with pytest.raises(CatNameError, match="undefined function 'frob'"):
+        CatModel(parse('"m" acyclic frob(po) as A'))
+    with pytest.raises(CatTypeError, match="; needs a relation, got a set"):
+        CatModel(parse('"m" acyclic W ; R as A'))
+    with pytest.raises(CatTypeError, match="union of a set and a relation"):
+        CatModel(parse('"m" acyclic W | po as A'))
+    with pytest.raises(CatTypeError, match="needs a set, got a relation"):
+        CatModel(parse('"m" acyclic [po] as A'))
+    with pytest.raises(CatTypeError, match="acyclic needs a relation, got a set"):
+        CatModel(parse('"m" acyclic W as A'))
+
+
+def test_failed_axioms_reported_by_name():
+    """Diagnostics come straight from the executor's per-constraint
+    verdicts: the lowered model names the failed axioms exactly."""
+    cat = CatModel(
+        parse('"m" acyclic po | com as Order empty rf as NoReads')
+    )
     x = _execution()
-    with pytest.raises(CatNameError, match="nonsense"):
-        CatModel(parse('"m" acyclic nonsense as A')).consistent(x)
-    with pytest.raises(CatNameError, match="frob"):
-        CatModel(parse('"m" acyclic frob(po) as A')).consistent(x)
-    with pytest.raises(CatTypeError):
-        CatModel(parse('"m" acyclic W ; R as A')).consistent(x)
-    with pytest.raises(CatTypeError):
-        CatModel(parse('"m" acyclic W | po as A')).consistent(x)
-    with pytest.raises(CatTypeError):
-        CatModel(parse('"m" acyclic [po] as A')).consistent(x)
+    assert cat.violated_axioms(x) == ["NoReads"]
+    assert [name for name, _ in cat.axiom_thunks(x)] == ["Order", "NoReads"]

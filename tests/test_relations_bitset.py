@@ -171,8 +171,8 @@ def test_equality_hash_pickle_roundtrip(pairs, uni):
 
 
 def test_x86_kernel_agrees_with_axiom_thunks(x86_executions_3):
-    """The fused row-level consistency kernel is verdict-identical to
-    the generic axiom-thunk conjunction (both TM and baseline)."""
+    """The IR executor's fast path (compiled plan runner) is
+    verdict-identical to the axiom-thunk conjunction (TM and baseline)."""
     for model in (get_model("x86tm"), get_model("x86")):
         for x in x86_executions_3:
             generic = all(thunk() for _, thunk in model.axiom_thunks(x))
@@ -180,7 +180,7 @@ def test_x86_kernel_agrees_with_axiom_thunks(x86_executions_3):
 
 
 def test_power_kernel_agrees_with_axiom_thunks(power_executions_3):
-    """Power's fused kernel (row-level ppo fixpoint, thb, hb, prop) is
+    """Power's IR plan (row-level ppo fixpoint, thb, hb, prop) is
     verdict-identical to the generic axiom-thunk conjunction."""
     for model in (get_model("powertm"), get_model("power")):
         for x in power_executions_3:
@@ -190,8 +190,9 @@ def test_power_kernel_agrees_with_axiom_thunks(power_executions_3):
 
 @pytest.mark.slow
 def test_armv8_kernel_agrees_with_axiom_thunks(armv8_executions_3):
-    """ARMv8's fused ob kernel is verdict-identical to the generic
-    axiom-thunk conjunction (full bound-3 sweep: ~190k executions)."""
+    """ARMv8's IR plan (the large ob union) is verdict-identical to the
+    generic axiom-thunk conjunction (full bound-3 sweep: ~190k
+    executions)."""
     for model in (get_model("armv8tm"), get_model("armv8")):
         for x in armv8_executions_3:
             generic = all(thunk() for _, thunk in model.axiom_thunks(x))
@@ -208,8 +209,8 @@ def test_armv8_kernel_agrees_on_sample(armv8_executions_3):
 
 @pytest.mark.slow
 def test_cpp_consistent_agrees_with_axiom_thunks(cpp_executions_3):
-    """C++'s straight-line consistent() (context-interned hb/eco/psc/sw)
-    is verdict-identical to the generic axiom-thunk conjunction."""
+    """C++'s IR plan (shared hb/eco/psc/sw subdags) is
+    verdict-identical to the generic axiom-thunk conjunction."""
     for model in (get_model("cpptm"), get_model("cpp")):
         for x in cpp_executions_3:
             generic = all(thunk() for _, thunk in model.axiom_thunks(x))
@@ -225,9 +226,9 @@ def test_cpp_consistent_agrees_on_sample(cpp_executions_3):
 
 
 def test_kernels_agree_on_hand_built_catalog():
-    """The fused kernels agree with the generic path on the hand-built
+    """The IR executor agrees with the thunk view on the hand-built
     paper catalog too (these executions exercise the mixed-universe
-    fallback and the txn-free degenerate branches)."""
+    Relation-level fallback and the txn-free degenerate branches)."""
     from repro.catalog import classics, figures
 
     catalog = [
