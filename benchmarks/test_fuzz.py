@@ -1,0 +1,59 @@
+"""Differential fuzzing throughput.
+
+Each fuzz case runs 4 verdict paths x 6 models plus (usually) a
+simulated-machine check, so cases/second is the honest unit for "how
+far beyond the enumeration bound can a CI budget reach".  Fixed seeds
+keep the workload identical across runs and machines.
+"""
+
+from repro.fuzz import FuzzConfig, run_fuzz
+
+
+def test_fuzz_throughput_x86(benchmark):
+    """Benchmark: a 200-case x86 campaign through the full oracle
+    matrix (the CI smoke lane's workload)."""
+    report = benchmark.pedantic(
+        lambda: run_fuzz(
+            FuzzConfig(arch="x86", seed=7, budget=200, corpus=None)
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    assert report.clean
+    assert report.cases == 200
+
+
+def test_fuzz_throughput_power(benchmark):
+    """Benchmark: Power campaign — the sim oracle here is the
+    candidate-enumerating axiomatic machine, the matrix's slow path."""
+    report = benchmark.pedantic(
+        lambda: run_fuzz(
+            FuzzConfig(arch="power", seed=7, budget=100, corpus=None)
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    assert report.clean
+    assert report.cases == 100
+
+
+def test_shrink_cost(benchmark):
+    """Benchmark: catching + shrinking every witness of an injected
+    model mutation (the fuzzer's worst-case inner loop)."""
+    report = benchmark.pedantic(
+        lambda: run_fuzz(
+            FuzzConfig(
+                arch="x86",
+                seed=7,
+                budget=64,
+                corpus=None,
+                mutant=("x86tm", ("Coherence",)),
+            )
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    assert not report.clean
+    assert all(
+        len(d["execution"]["events"]) <= 6 for d in report.discrepancies
+    )

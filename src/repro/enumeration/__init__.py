@@ -14,11 +14,15 @@ from .config import (
 )
 from .minimality import is_minimal_inconsistent, weakenings
 from .shapes import (
+    LOC_NAMES,
     Skeleton,
     enumerate_skeletons,
     interval_sets,
     partitions,
     restricted_growth_strings,
+    sample_growth_string,
+    sample_interval_set,
+    sample_partition,
 )
 from .synthesis import SynthesisResult, synthesise
 
@@ -26,6 +30,7 @@ __all__ = [
     "ARMV8_CONFIG",
     "CONFIGS",
     "CPP_CONFIG",
+    "LOC_NAMES",
     "POWER_CONFIG",
     "SC_CONFIG",
     "X86_CONFIG",
@@ -42,6 +47,9 @@ __all__ = [
     "is_minimal_inconsistent",
     "partitions",
     "restricted_growth_strings",
+    "sample_growth_string",
+    "sample_interval_set",
+    "sample_partition",
     "synthesise",
     "weakenings",
 ]

@@ -96,6 +96,71 @@ def restricted_growth_strings(n: int) -> Iterator[tuple[int, ...]]:
 
 _LOC_NAMES = "xyzwvu"
 
+#: Public alias for consumers sampling the same location vocabulary
+#: (the fuzzer's random generator draws from it).
+LOC_NAMES = _LOC_NAMES
+
+
+def sample_partition(rng, n: int, max_parts: int | None = None) -> tuple[int, ...]:
+    """One random thread-size partition of ``n`` (non-increasing), the
+    sampling counterpart of :func:`partitions` used by the fuzzer.
+
+    Uniformly random cut points rather than uniform over partitions --
+    bias is fine for fuzzing, determinism under a seeded ``rng`` is the
+    requirement.
+    """
+    if n <= 0:
+        return ()
+    parts = max_parts if max_parts is not None else n
+    count = rng.randint(1, max(1, min(parts, n)))
+    cuts = sorted(rng.sample(range(1, n), count - 1)) if count > 1 else []
+    sizes = []
+    prev = 0
+    for cut in cuts + [n]:
+        sizes.append(cut - prev)
+        prev = cut
+    return tuple(sorted(sizes, reverse=True))
+
+
+def sample_interval_set(
+    rng, length: int, open_probability: float = 0.3
+) -> tuple[tuple[int, int], ...]:
+    """One random member of :func:`interval_sets` -- a transaction
+    layout for a thread of ``length`` events."""
+    intervals = []
+    pos = 0
+    while pos < length:
+        if rng.random() < open_probability:
+            end = rng.randint(pos + 1, length)
+            intervals.append((pos, end))
+            pos = end
+        else:
+            pos += 1
+    return tuple(intervals)
+
+
+def sample_growth_string(rng, n: int, spread: float = 0.6) -> tuple[int, ...]:
+    """One random restricted-growth string of length ``n`` (a canonical
+    location assignment; see :func:`restricted_growth_strings`).
+
+    ``spread`` is the probability of introducing a fresh value at each
+    position; lower values bias toward fewer distinct locations, which
+    is where the interesting coherence interactions live.
+    """
+    if n == 0:
+        return ()
+    out = [0]
+    top = 0
+    for _ in range(n - 1):
+        ceiling = min(top + 1, len(_LOC_NAMES) - 1)
+        if top < ceiling and rng.random() < spread:
+            value = top + 1
+        else:
+            value = rng.randint(0, top)
+        out.append(value)
+        top = max(top, value)
+    return tuple(out)
+
 
 def enumerate_skeletons(
     config: EnumerationConfig, n_events: int

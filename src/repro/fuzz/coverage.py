@@ -1,0 +1,145 @@
+"""Coverage guidance: which verdict territory has the fuzzer visited?
+
+Three signals, each recorded as a distinct-key metric
+(:meth:`repro.obs.MetricsRegistry.unique`) so runs report them under
+``--stats``:
+
+* **verdict patterns** (``fuzz.coverage.verdict_patterns``) -- the
+  tuple of per-model consistency verdicts across the six-model matrix.
+  64 patterns are possible; most random executions land in a handful,
+  so a new pattern is a strong "keep this input" signal.
+* **axiom-violation sets** (``fuzz.coverage.violation_sets``) -- per
+  model, the exact set of violated axioms.  Finer-grained than the
+  verdict bit: two inconsistent executions violating different axioms
+  exercise different constraint plans.
+* **structure signatures** (``fuzz.coverage.structures``) -- the shape
+  vocabulary exercised (event-kind/tag multiset, thread sizes,
+  dependency/rmw/transaction counts), which tracks generator coverage
+  independently of the models.
+
+The plans' IR node kinds are recorded once per run
+(``fuzz.coverage.ir_node_kinds``): every term op reachable from the six
+scheduled plans, i.e. the IR surface the differential paths exercise.
+
+:meth:`CoverageMap.observe` returns True when a case contributed any
+new key; the engine adds such cases to the mutation pool.
+"""
+
+from __future__ import annotations
+
+from ..events import Execution
+from ..obs import REGISTRY
+from .oracles import DIFF_MODELS, model_for
+
+_NEW_PATTERNS = REGISTRY.counter("fuzz.coverage.new_verdict_patterns")
+_NEW_VIOLATIONS = REGISTRY.counter("fuzz.coverage.new_violation_sets")
+_NEW_STRUCTURES = REGISTRY.counter("fuzz.coverage.new_structures")
+
+
+def structure_signature(execution: Execution) -> str:
+    """A compact, stable shape key for one execution."""
+    kinds = sorted(
+        f"{e.kind}:{','.join(sorted(e.tags))}" for e in execution.events
+    )
+    sizes = sorted((len(seq) for seq in execution.threads), reverse=True)
+    return "|".join(
+        [
+            ";".join(kinds),
+            ",".join(map(str, sizes)),
+            f"deps={len(execution.deps.pairs)}",
+            f"rmw={len(execution.rmw.pairs)}",
+            f"txns={len(execution.txn_classes)}",
+            f"atomic={len(execution.atomic_txns)}",
+        ]
+    )
+
+
+def record_ir_node_kinds() -> int:
+    """Register every term op reachable from the six plans' schedules
+    under ``fuzz.coverage.ir_node_kinds``; returns the distinct count."""
+    metric = REGISTRY.unique("fuzz.coverage.ir_node_kinds")
+    seen: set[int] = set()
+    ops: set[str] = set()
+
+    def walk(term) -> None:
+        if term.uid in seen:
+            return
+        seen.add(term.uid)
+        metric.add(term.op)
+        ops.add(term.op)
+        for arg in term.args:
+            if hasattr(arg, "op"):
+                walk(arg)
+            elif isinstance(arg, tuple):
+                for item in arg:
+                    if hasattr(item, "op"):
+                        walk(item)
+        group = getattr(term, "group", None)
+        if group is not None:
+            for body in group.bodies:
+                walk(body)
+
+    for name in DIFF_MODELS:
+        for constraint in model_for(name).plan().constraints:
+            walk(constraint.term)
+    return len(ops)
+
+
+class CoverageMap:
+    """Tracks visited verdict territory; feeds the mutation pool.
+
+    Novelty decisions come from *run-local* sets -- the registry's
+    distinct-key metrics are written through for ``--stats`` but never
+    read, so a second run in the same process (tests, back-to-back CLI
+    invocations) sees exactly the same novelty sequence as a fresh one.
+    """
+
+    def __init__(self) -> None:
+        self._patterns: set[str] = set()
+        self._violations: set[str] = set()
+        self._structures: set[str] = set()
+        self._metrics = {
+            "patterns": REGISTRY.unique("fuzz.coverage.verdict_patterns"),
+            "violations": REGISTRY.unique("fuzz.coverage.violation_sets"),
+            "structures": REGISTRY.unique("fuzz.coverage.structures"),
+        }
+
+    @property
+    def verdict_pattern_count(self) -> int:
+        return len(self._patterns)
+
+    @property
+    def violation_set_count(self) -> int:
+        return len(self._violations)
+
+    @property
+    def structure_count(self) -> int:
+        return len(self._structures)
+
+    def observe(self, execution: Execution, result: dict) -> bool:
+        """Fold one evaluated case in; True when anything was new."""
+        models = result["models"]
+        pattern = ",".join(
+            f"{name}={int(models[name]['compiled'])}" for name in DIFF_MODELS
+        )
+        self._metrics["patterns"].add(pattern)
+        new = pattern not in self._patterns
+        self._patterns.add(pattern)
+        if new:
+            _NEW_PATTERNS.inc()
+        for name in DIFF_MODELS:
+            violated = models[name]["interp"]
+            if violated:
+                key = f"{name}:{'+'.join(sorted(violated))}"
+                self._metrics["violations"].add(key)
+                if key not in self._violations:
+                    self._violations.add(key)
+                    _NEW_VIOLATIONS.inc()
+                    new = True
+        signature = structure_signature(execution)
+        self._metrics["structures"].add(signature)
+        if signature not in self._structures:
+            self._structures.add(signature)
+            _NEW_STRUCTURES.inc()
+            new = True
+        return new

@@ -1,0 +1,257 @@
+"""Mutation operators over corpus executions.
+
+Coverage-guided fuzzing keeps a pool of "interesting" executions (ones
+that reached new verdict territory) and perturbs them instead of always
+sampling fresh: small steps from an interesting input tend to stay
+interesting.  Each operator takes an execution and the caller's seeded
+rng and returns a mutated execution, or ``None`` when the operator does
+not apply (the engine then falls back to another operator or a fresh
+sample).  Every successful mutation is well-formed by construction of
+the functional-update API, but the engine re-checks anyway.
+
+The operator vocabulary follows the shapes the paper's ⊏-order and §8
+transformations care about: fence insertion/removal, transaction
+boundary flips, rf/co permutation, tag downgrades, and thread splicing
+between two corpus entries.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..enumeration.config import EnumerationConfig
+from ..events import FENCE, READ, WRITE, Event, Execution
+from ..events.wellformed import is_well_formed
+from ..obs import REGISTRY
+
+_APPLIED = REGISTRY.counter("fuzz.mutations.applied")
+_REJECTED = REGISTRY.counter("fuzz.mutations.rejected")
+
+
+def add_fence(
+    rng: random.Random, x: Execution, config: EnumerationConfig
+) -> Execution | None:
+    """Insert a random-flavour fence at a random thread position."""
+    if not config.fence_flavours or not x.threads:
+        return None
+    tid = rng.randrange(len(x.threads))
+    seq = x.threads[tid]
+    pos = rng.randint(0, len(seq))
+    eid = max(x.eids) + 1
+    flavour = rng.choice(config.fence_flavours)
+    fence = Event(eid=eid, tid=tid, kind=FENCE, loc=None, tags=frozenset({flavour}))
+    threads = list(x.threads)
+    threads[tid] = seq[:pos] + (eid,) + seq[pos:]
+    # A fence landing inside a transaction's span joins it, keeping the
+    # class po-contiguous.
+    txn_of = dict(x.txn_of)
+    if 0 < pos < len(seq):
+        before, after = x.txn_of.get(seq[pos - 1]), x.txn_of.get(seq[pos])
+        if before is not None and before == after:
+            txn_of[eid] = before
+    return x.replace(
+        events=x.events + (fence,), threads=tuple(threads), txn_of=txn_of
+    )
+
+
+def remove_fence(rng: random.Random, x: Execution, config) -> Execution | None:
+    fences = sorted(x.fences)
+    if not fences:
+        return None
+    return x.without_event(rng.choice(fences))
+
+
+def flip_txn_boundary(rng: random.Random, x: Execution, config) -> Execution | None:
+    """Move a transaction boundary: evict a member, or absorb a
+    po-adjacent non-member into the transaction."""
+    choices: list[tuple[str, int, int]] = []
+    for txn, members in sorted(x.txn_classes.items()):
+        # Evicting an interior member would break po-contiguity, so
+        # only the boundary members may leave.
+        choices.append(("evict", members[0], txn))
+        if members[-1] != members[0]:
+            choices.append(("evict", members[-1], txn))
+        seq = x.threads[x.event(members[0]).tid]
+        first, last = seq.index(members[0]), seq.index(members[-1])
+        for pos in (first - 1, last + 1):
+            if 0 <= pos < len(seq) and seq[pos] not in x.txn_of:
+                choices.append(("absorb", seq[pos], txn))
+    if not choices:
+        return None
+    op, eid, txn = rng.choice(choices)
+    if op == "evict":
+        return x.without_txn_membership(eid)
+    txn_of = dict(x.txn_of)
+    txn_of[eid] = txn
+    return x.replace(txn_of=txn_of)
+
+
+def permute_rf(rng: random.Random, x: Execution, config) -> Execution | None:
+    """Re-choose one read's rf source (including "reads initial")."""
+    reads = sorted(x.reads)
+    if not reads:
+        return None
+    read = rng.choice(reads)
+    loc = x.event(read).loc
+    current = next((w for w, r in x.rf.pairs if r == read), None)
+    options = [None] + [w for w in x.writes_to(loc)]
+    options = [w for w in options if w != current]
+    if not options:
+        return None
+    chosen = rng.choice(options)
+    rf = {(w, r) for w, r in x.rf.pairs if r != read}
+    if chosen is not None:
+        rf.add((chosen, read))
+    return x.replace(rf=frozenset(rf))
+
+
+def permute_co(rng: random.Random, x: Execution, config) -> Execution | None:
+    """Swap two adjacent writes in one location's coherence order."""
+    candidates = [
+        loc for loc in x.locations if len(x.writes_to(loc)) >= 2
+    ]
+    if not candidates:
+        return None
+    loc = rng.choice(candidates)
+    order = sorted(
+        x.writes_to(loc), key=lambda w: len(x.co.predecessors(w))
+    )
+    i = rng.randrange(len(order) - 1)
+    order[i], order[i + 1] = order[i + 1], order[i]
+    co = {
+        (a, b)
+        for a, b in x.co.pairs
+        if x.event(a).loc != loc
+    }
+    co.update(zip(order, order[1:]))
+    return x.replace(co=frozenset(co))
+
+
+def downgrade_tag(
+    rng: random.Random, x: Execution, config: EnumerationConfig
+) -> Execution | None:
+    """Apply one ⊏-order event downgrade from the config's lattice."""
+    options: list[tuple[int, frozenset]] = []
+    for e in x.events:
+        for weaker in config.downgrades(e):
+            options.append((e.eid, weaker.tags))
+    if not options:
+        return None
+    eid, tags = rng.choice(options)
+    return x.with_event_tags(eid, tags)
+
+
+def splice_thread(
+    rng: random.Random, x: Execution, donor: Execution
+) -> Execution | None:
+    """Graft one of ``donor``'s threads onto ``x`` as a new thread.
+
+    Donor events are renumbered past ``x``'s ids; intra-thread edges
+    (deps, rmw, transactions) survive, cross-thread edges (rf, co) are
+    dropped -- the grafted thread's reads observe the initial value and
+    its writes enter each location's co as a fresh chain suffix.
+    """
+    if not donor.threads:
+        return None
+    donor_tid = rng.randrange(len(donor.threads))
+    donor_seq = donor.threads[donor_tid]
+    base = max(x.eids) + 1 if x.eids else 0
+    remap = {eid: base + i for i, eid in enumerate(donor_seq)}
+    new_tid = len(x.threads)
+    grafted = [
+        Event(
+            eid=remap[eid],
+            tid=new_tid,
+            kind=donor.event(eid).kind,
+            loc=donor.event(eid).loc,
+            tags=donor.event(eid).tags,
+        )
+        for eid in donor_seq
+    ]
+    keep = lambda pairs: frozenset(
+        (remap[a], remap[b])
+        for a, b in pairs
+        if a in remap and b in remap
+    )
+    rels = x._relation_pairs()
+    merged = {
+        name: rels[name] | keep(getattr(donor, name).pairs)
+        for name in ("addr", "ctrl", "data", "rmw")
+    }
+    # rf survives only within the donor thread; co chains the grafted
+    # writes after x's existing per-location chains.
+    merged["rf"] = rels["rf"] | keep(donor.rf.pairs)
+    co = set(rels["co"])
+    last_write: dict[str, int] = {}
+    for loc in x.locations:
+        writes = x.writes_to(loc)
+        if writes:
+            last_write[loc] = max(
+                writes, key=lambda w: len(x.co.predecessors(w))
+            )
+    for event in grafted:
+        if event.kind == WRITE and event.loc is not None:
+            prev = last_write.get(event.loc)
+            if prev is not None:
+                co.add((prev, event.eid))
+            last_write[event.loc] = event.eid
+    merged["co"] = frozenset(co)
+    txn_base = max(x.txn_of.values(), default=-1) + 1
+    txn_of = dict(x.txn_of)
+    donor_txns: dict[int, int] = {}
+    for eid in donor_seq:
+        txn = donor.txn_of.get(eid)
+        if txn is not None:
+            donor_txns.setdefault(txn, txn_base + len(donor_txns))
+            txn_of[remap[eid]] = donor_txns[txn]
+    atomic = set(x.atomic_txns)
+    atomic.update(
+        donor_txns[t] for t in donor.atomic_txns if t in donor_txns
+    )
+    return x.replace(
+        events=x.events + tuple(grafted),
+        threads=x.threads + (tuple(remap[eid] for eid in donor_seq),),
+        txn_of=txn_of,
+        atomic_txns=frozenset(atomic),
+        **merged,
+    )
+
+
+#: Single-parent operators, in a fixed order (rng picks among them).
+OPERATORS = (
+    add_fence,
+    remove_fence,
+    flip_txn_boundary,
+    permute_rf,
+    permute_co,
+    downgrade_tag,
+)
+
+
+def mutate(
+    rng: random.Random,
+    x: Execution,
+    config: EnumerationConfig,
+    donor: Execution | None = None,
+    attempts: int = 8,
+) -> Execution | None:
+    """One random applicable mutation of ``x`` (well-formed), or None.
+
+    With a ``donor``, thread splicing joins the operator pool.
+    """
+    pool = list(OPERATORS)
+    if donor is not None:
+        pool.append(None)  # sentinel for splice_thread
+    for _ in range(attempts):
+        op = rng.choice(pool)
+        if op is None:
+            mutated = splice_thread(rng, x, donor)
+        else:
+            mutated = op(rng, x, config)
+        if mutated is None:
+            continue
+        if is_well_formed(mutated):
+            _APPLIED.inc()
+            return mutated
+        _REJECTED.inc()
+    return None

@@ -9,6 +9,7 @@ Usage::
     repro-harness figure7 --arch x86 --events 4
     repro-harness rtl-bug
     repro-harness figures
+    repro-harness fuzz --arch x86 --seed 7 --budget 200
     repro-harness stats results/metrics-table1.json
 
 The long-running drivers (``table1``, ``table2``, ``figure7``,
@@ -95,6 +96,11 @@ def _render_stats_dump(dump: dict) -> str:
         lines.append("gauges:")
         for name in sorted(gauges):
             lines.append(f"  {name:<36} {gauges[name]}")
+    uniques = dump.get("uniques", {})
+    if uniques:
+        lines.append("distinct keys:")
+        for name in sorted(uniques):
+            lines.append(f"  {name:<36} {uniques[name]}")
     return "\n".join(lines)
 
 
@@ -136,6 +142,72 @@ def main(argv: list[str] | None = None) -> int:
     p_ex.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
     p_ex.add_argument("--events", type=int, default=3)
     p_ex.add_argument("--out", default="suites")
+
+    p_fz = sub.add_parser(
+        "fuzz", help="differential conformance fuzzing across verdict paths"
+    )
+    p_fz.add_argument(
+        "--arch",
+        default="x86",
+        choices=("x86", "power", "armv8", "cpp", "sc"),
+        help="architecture whose event vocabulary drives generation",
+    )
+    p_fz.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="campaign seed (default: REPRO_FUZZ_SEED or 0)",
+    )
+    p_fz.add_argument(
+        "--budget", type=int, default=200, help="number of cases to evaluate"
+    )
+    p_fz.add_argument(
+        "--max-events", type=int, default=7, help="largest generated execution"
+    )
+    p_fz.add_argument(
+        "--mode",
+        default="all",
+        choices=("all", "diff", "meta"),
+        help="oracle matrix only (diff), metamorphic only (meta), or both",
+    )
+    p_fz.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="delta-debug each disagreement to a minimal witness",
+    )
+    p_fz.add_argument(
+        "--corpus",
+        default="results/fuzz-corpus.jsonl",
+        metavar="FILE",
+        help="JSONL witness corpus ('' disables writing)",
+    )
+    p_fz.add_argument(
+        "--seed-corpus",
+        default=None,
+        metavar="FILE",
+        help="existing corpus whose executions seed the mutation pool",
+    )
+    p_fz.add_argument(
+        "--replay",
+        default=None,
+        metavar="DIGEST",
+        help="re-evaluate one corpus witness by digest prefix and exit",
+    )
+    p_fz.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_PIPELINE_WORKERS or 1)",
+    )
+    p_fz.add_argument(
+        "--stats",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="write merged metrics JSON after the run",
+    )
 
     p_st = sub.add_parser("stats", help="pretty-print a --stats JSON dump")
     p_st.add_argument("path", help="metrics JSON written by --stats")
@@ -207,6 +279,46 @@ def main(argv: list[str] | None = None) -> int:
             f"exported {len(manifest['forbid'])} forbid + "
             f"{len(manifest['allow'])} allow tests to {args.out}/"
         )
+    elif args.command == "fuzz":
+        from ..fuzz import FuzzConfig, replay, run_fuzz
+
+        corpus = args.corpus or None
+        if args.replay:
+            if corpus is None:
+                parser.error("--replay needs --corpus")
+            record, findings = replay(corpus, args.replay)
+            if record is None:
+                print(f"no corpus record matches {args.replay!r}")
+                return 1
+            print(
+                f"witness {record['digest'][:12]} "
+                f"[{record['kind']}] {record['model']}:"
+            )
+            if record.get("litmus"):
+                print(record["litmus"])
+            if findings:
+                print(f"still disagrees ({len(findings)} finding(s)):")
+                for finding in findings:
+                    print(f"  [{finding['kind']}] {finding['model']}")
+                return 1
+            print("no longer disagrees (fixed since recording)")
+            return 0
+        report = run_fuzz(
+            FuzzConfig(
+                arch=args.arch,
+                seed=args.seed,
+                budget=args.budget,
+                max_events=args.max_events,
+                shrink=args.shrink,
+                corpus=corpus,
+                workers=args.workers,
+                mode=args.mode,
+                seed_corpus=args.seed_corpus,
+            )
+        )
+        print(report.render())
+        _write_stats(args)
+        return 0 if report.clean else 1
     elif args.command == "stats":
         with open(args.path, encoding="utf-8") as handle:
             dump = json.load(handle)

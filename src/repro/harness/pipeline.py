@@ -326,6 +326,37 @@ class CheckPipeline:
                 )
         return results
 
+    def map_batched(
+        self,
+        fn: Callable,
+        generate: Callable[[int, int], Sequence],
+        total: int,
+        batch_size: int,
+        on_batch: Callable[[int, Sequence, list], None],
+    ) -> int:
+        """Feedback loop: generate a batch, map it, fold, repeat.
+
+        For drivers whose inputs depend on earlier outputs (the fuzzer's
+        coverage-guided mutation pool): ``generate(start, count)``
+        produces the next batch in the parent, the batch fans out
+        through :meth:`map`, then ``on_batch(start, items, results)``
+        folds the ordered results back before the next batch is
+        generated.  ``batch_size`` must not depend on the worker count,
+        or the generation sequence (and anything derived from it, like a
+        fuzz corpus) stops being reproducible across ``--workers``
+        settings.  Returns the number of items processed.
+        """
+        produced = 0
+        while produced < total:
+            count = min(batch_size, total - produced)
+            items = list(generate(produced, count))
+            if not items:
+                break
+            results = self.map(fn, items)
+            on_batch(produced, items, results)
+            produced += len(items)
+        return produced
+
     def _map_pool(
         self,
         fn: Callable,

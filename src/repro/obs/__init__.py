@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from .metrics import Counter, Gauge, MetricsRegistry, Timer
+from .metrics import Counter, Gauge, MetricsRegistry, Timer, UniqueSet
 from .tracing import Span, Tracer
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "TRACER",
     "Timer",
     "Tracer",
+    "UniqueSet",
     "reset_observability",
     "stats_snapshot",
     "write_stats",
@@ -58,6 +59,7 @@ def stats_snapshot() -> dict:
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
         "timers": snapshot["timers"],
+        "uniques": snapshot["uniques"],
         "hit_rates": hit_rates,
         "spans": TRACER.snapshot(),
     }

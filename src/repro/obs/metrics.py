@@ -108,8 +108,44 @@ class Timer:
         return self.total / self.count if self.count else 0.0
 
 
+class UniqueSet:
+    """A distinct-key counter: its value is how many different string
+    keys have been added.
+
+    The fuzzer's coverage guidance records *distinct* observations
+    (constraint-plan verdict patterns, axiom-violation sets) rather than
+    event counts, so a plain :class:`Counter` cannot represent it.  Keys
+    are strings so snapshots stay JSON-serialisable; pool workers ship
+    the keys added since the last flush and the parent unions them in.
+    """
+
+    __slots__ = ("name", "_lock", "_keys", "_unflushed")
+
+    def __init__(self, name: str, lock: threading.RLock):
+        self.name = name
+        self._lock = lock
+        self._keys: set[str] = set()
+        self._unflushed: set[str] = set()
+
+    def add(self, key: str) -> bool:
+        """Record one key; returns True when it was not seen before."""
+        with self._lock:
+            if key in self._keys:
+                return False
+            self._keys.add(key)
+            self._unflushed.add(key)
+            return True
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    @property
+    def value(self) -> int:
+        return len(self._keys)
+
+
 class MetricsRegistry:
-    """A named collection of counters, timers, and gauges.
+    """A named collection of counters, timers, gauges, and unique-sets.
 
     Metric objects are created on first use and live for the registry's
     lifetime, so hot paths can bind them once (``C = REGISTRY.counter(
@@ -121,6 +157,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, Timer] = {}
+        self._uniques: dict[str, UniqueSet] = {}
         # Baseline for flush_delta: the snapshot state already reported.
         self._flushed: dict = _empty_snapshot()
 
@@ -145,6 +182,13 @@ class MetricsRegistry:
             metric = self._timers.get(name)
             if metric is None:
                 metric = self._timers[name] = Timer(name, self._lock)
+            return metric
+
+    def unique(self, name: str) -> UniqueSet:
+        with self._lock:
+            metric = self._uniques.get(name)
+            if metric is None:
+                metric = self._uniques[name] = UniqueSet(name, self._lock)
             return metric
 
     # -- convenience wrappers --------------------------------------------
@@ -177,6 +221,9 @@ class MetricsRegistry:
                     name: {"count": t.count, "total": t.total, "max": t.max}
                     for name, t in self._timers.items()
                 },
+                "uniques": {
+                    name: u.value for name, u in self._uniques.items()
+                },
             }
 
     def flush_delta(self) -> dict:
@@ -189,6 +236,13 @@ class MetricsRegistry:
             current = self.snapshot()
             delta = _snapshot_difference(current, self._flushed)
             self._flushed = current
+            unique_keys = {}
+            for name, metric in self._uniques.items():
+                if metric._unflushed:
+                    unique_keys[name] = sorted(metric._unflushed)
+                    metric._unflushed = set()
+            if unique_keys:
+                delta["unique_keys"] = unique_keys
             return delta
 
     def merge(self, snapshot: dict) -> None:
@@ -209,6 +263,13 @@ class MetricsRegistry:
                 timer.count += stats.get("count", 0)
                 timer.total += stats.get("total", 0.0)
                 timer.max = max(timer.max, stats.get("max", 0.0))
+            # Unique-sets merge by key (shipped in flush deltas); the
+            # "uniques" counts in a plain snapshot carry no keys, so
+            # they cannot be merged and are informational only.
+            for name, keys in snapshot.get("unique_keys", {}).items():
+                metric = self.unique(name)
+                for key in keys:
+                    metric.add(key)
 
     def reset(self) -> None:
         """Zero all metrics and the flush baseline (fresh worker state).
@@ -227,6 +288,9 @@ class MetricsRegistry:
                 timer.count = 0
                 timer.total = 0.0
                 timer.max = 0.0
+            for unique in self._uniques.values():
+                unique._keys = set()
+                unique._unflushed = set()
             self._flushed = _empty_snapshot()
 
     def hit_rate(self, prefix: str) -> float | None:

@@ -11,6 +11,7 @@ observation of a Forbid test (§4.2's discussion).
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 
@@ -36,12 +37,30 @@ class SamplingResult:
 
 
 class RandomisedRunner:
-    """Run a program repeatedly under a uniformly random scheduler."""
+    """Run a program repeatedly under a uniformly random scheduler.
 
-    def __init__(self, program: Program, seed: int = 0):
+    The scheduler's randomness is always an *owned* ``random.Random``
+    instance, never the module-global ``random`` state: either pass a
+    ready-made ``rng`` (the fuzzer threads its own generator through),
+    or a ``seed``.  When neither is given the seed comes from the
+    ``REPRO_FUZZ_SEED`` environment variable (default 0), so CI runs
+    are reproducible end to end.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+    ):
         self.machine = TSOMachine(program)
         self.program = program
-        self.rng = random.Random(seed)
+        if rng is not None:
+            self.rng = rng
+        else:
+            if seed is None:
+                seed = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+            self.rng = random.Random(seed)
 
     def run_once(self) -> tuple:
         """One run to termination with random step choices; returns the

@@ -5,9 +5,11 @@ bound"; enumerating once per session keeps the suite fast.
 
 The autouse ``isolate_pipeline_caches`` fixture snapshots and restores
 the harness's per-process hardware/model registries around every test,
-so a test that mutates them (monkeypatched machines, dropped-axiom
-models) cannot leak state into a later test -- the suite must pass in
-any order (``pytest -p no:randomly`` parity).
+and re-asserts the pre-test entries of the IR hash-cons tables, so a
+test that mutates process-global state (monkeypatched machines,
+dropped-axiom models, cleared or clobbered intern tables) cannot leak
+into a later test -- the suite must pass in any order
+(``pytest -p no:randomly`` parity).
 """
 
 from __future__ import annotations
@@ -16,18 +18,34 @@ import pytest
 
 from repro.enumeration import enumerate_executions, get_config
 from repro.harness import pipeline as _pipeline
+from repro.ir import terms as _terms
 
 
 @pytest.fixture(autouse=True)
 def isolate_pipeline_caches():
-    """Snapshot/restore the harness's per-process caches around each test."""
+    """Snapshot/restore per-process caches around each test.
+
+    The IR hash-cons tables get the *re-assert* treatment rather than a
+    wholesale clear-and-restore: every entry present before the test is
+    put back (same objects), so a test that clears or replaces interned
+    terms cannot break pointer-identity for later tests -- but entries
+    the test *added* stay, because hash-consing is monotone by design
+    (plans built lazily in one test must keep sharing subterms with
+    plans built in another).  ``_NEXT_UID`` is deliberately never
+    rewound: reusing the uid of a still-alive term held by an lru plan
+    cache would silently corrupt verdict memos keyed on uid.
+    """
     hardware = dict(_pipeline._HARDWARE_CACHE)
     models = dict(_pipeline._MODEL_CACHE)
+    intern_snapshot = dict(_terms._INTERN)
+    fix_snapshot = dict(_terms._FIX_INTERN)
     yield
     _pipeline._HARDWARE_CACHE.clear()
     _pipeline._HARDWARE_CACHE.update(hardware)
     _pipeline._MODEL_CACHE.clear()
     _pipeline._MODEL_CACHE.update(models)
+    _terms._INTERN.update(intern_snapshot)
+    _terms._FIX_INTERN.update(fix_snapshot)
 
 
 def _enumerate(target: str, max_events: int) -> list:

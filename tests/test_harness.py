@@ -131,3 +131,61 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             cli_main(["frobnicate"])
+
+    def test_fuzz_command_clean_run(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        assert (
+            cli_main(
+                [
+                    "fuzz",
+                    "--arch",
+                    "x86",
+                    "--seed",
+                    "7",
+                    "--budget",
+                    "16",
+                    "--corpus",
+                    str(corpus),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "discrepancies   : 0" in out
+        assert corpus.read_text() == ""
+
+    def test_fuzz_command_exits_nonzero_on_discrepancy(self, capsys, tmp_path):
+        # No public flag injects a mutant (it is test-only), so drive
+        # the engine config through the module instead and check the
+        # CLI replay path against its corpus.
+        from repro.fuzz import FuzzConfig, run_fuzz
+
+        corpus = tmp_path / "corpus.jsonl"
+        report = run_fuzz(
+            FuzzConfig(
+                arch="x86",
+                seed=7,
+                budget=48,
+                corpus=str(corpus),
+                mutant=("x86tm", ("Coherence",)),
+            )
+        )
+        assert not report.clean
+        digest = report.discrepancies[0]["digest"]
+        assert (
+            cli_main(
+                ["fuzz", "--replay", digest[:12], "--corpus", str(corpus)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "no longer disagrees" in out
+
+    def test_fuzz_replay_unknown_digest(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        corpus.write_text("")
+        assert (
+            cli_main(["fuzz", "--replay", "feedbeef", "--corpus", str(corpus)])
+            == 1
+        )
+        assert "no corpus record" in capsys.readouterr().out

@@ -139,6 +139,58 @@ def test_flush_delta_is_empty_when_nothing_happened():
     assert delta["counters"] == {} and delta["timers"] == {}
 
 
+def test_unique_set_counts_distinct_keys():
+    registry = MetricsRegistry()
+    metric = registry.unique("patterns")
+    assert metric.add("a") is True
+    assert metric.add("a") is False
+    assert metric.add("b") is True
+    assert metric.value == 2
+    assert registry.snapshot()["uniques"] == {"patterns": 2}
+
+
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abcdef"), max_size=6), max_size=6
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_unique_set_merge_reproduces_direct_counts(batches):
+    """Per-batch flush_delta → merge must reproduce the worker's own
+    distinct-key counts: the union over shipped key deltas equals the
+    worker's key set."""
+    worker = MetricsRegistry()
+    parent = MetricsRegistry()
+    for batch in batches:
+        for key in batch:
+            worker.unique("k").add(key)
+        parent.merge(worker.flush_delta())
+    assert (
+        parent.snapshot()["uniques"].get("k", 0)
+        == worker.snapshot()["uniques"].get("k", 0)
+    )
+
+
+def test_unique_set_flush_ships_only_new_keys():
+    registry = MetricsRegistry()
+    registry.unique("k").add("a")
+    first = registry.flush_delta()
+    assert first["unique_keys"] == {"k": ["a"]}
+    registry.unique("k").add("a")
+    registry.unique("k").add("b")
+    second = registry.flush_delta()
+    assert second["unique_keys"] == {"k": ["b"]}
+
+
+def test_unique_set_reset_clears_keys():
+    registry = MetricsRegistry()
+    metric = registry.unique("k")
+    metric.add("a")
+    registry.reset()
+    assert metric.value == 0
+    assert metric.add("a") is True
+
+
 def test_reset_preserves_bound_metric_objects():
     """Hot paths bind metric objects once at import; reset must zero
     them in place, not orphan them (a cleared dict would silently drop

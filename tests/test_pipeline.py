@@ -165,3 +165,35 @@ def test_close_drains_and_is_idempotent():
 
 def _double_second(job):
     return job[1] * 2
+
+
+def test_map_batched_feeds_results_back_between_batches():
+    """map_batched is a feedback loop: each generate() call must see
+    the folds of every earlier batch, batches arrive in order, and the
+    item count is exact even when the budget is not a batch multiple."""
+    pipe = CheckPipeline(workers=1)
+    folded: list[int] = []
+    generated_at: list[int] = []
+
+    def generate(start, count):
+        generated_at.append(len(folded))
+        return [start + i for i in range(count)]
+
+    def fold(start, items, results):
+        assert results == [item * 2 for item in items]
+        folded.extend(results)
+
+    total = pipe.map_batched(_double_item, generate, 10, 4, fold)
+    assert total == 10
+    assert folded == [i * 2 for i in range(10)]
+    # generate() for batch k saw exactly k full batches folded.
+    assert generated_at == [0, 4, 8]
+
+
+def test_map_batched_stops_on_empty_generation():
+    pipe = CheckPipeline(workers=1)
+    assert pipe.map_batched(_double_item, lambda s, c: [], 10, 4, lambda *a: None) == 0
+
+
+def _double_item(item):
+    return item * 2
