@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import random
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..enumeration.config import get_config
 from ..events import Execution
@@ -215,8 +216,23 @@ def run_fuzz(config: FuzzConfig, pipeline: CheckPipeline | None = None) -> FuzzR
 
     own_pipeline = pipeline is None
     if own_pipeline:
-        pipeline = CheckPipeline(workers=config.workers)
+        runlog = None
+        if config.corpus:
+            corpus_path = Path(config.corpus)
+            runlog = corpus_path.with_name(
+                corpus_path.stem + ".events.jsonl"
+            )
+        pipeline = CheckPipeline(workers=config.workers, runlog=runlog)
     writer = CorpusWriter(config.corpus) if config.corpus else None
+    pipeline.log_event(
+        "fuzz.start",
+        arch=config.arch,
+        seed=seed,
+        budget=config.budget,
+        max_events=config.max_events,
+        mode=config.mode,
+        corpus=config.corpus,
+    )
     try:
 
         def generate(start: int, count: int) -> list[FuzzCase]:
@@ -274,6 +290,11 @@ def run_fuzz(config: FuzzConfig, pipeline: CheckPipeline | None = None) -> FuzzR
         if writer is not None:
             report.corpus_records = writer.written
             writer.close()
+        pipeline.log_event(
+            "fuzz.end",
+            cases=report.cases,
+            discrepancies=len(report.discrepancies),
+        )
         if own_pipeline:
             pipeline.close()
     report.coverage = {

@@ -155,6 +155,11 @@ def evaluate_case(case: FuzzCase) -> dict:
     processes stay policy-free.
     """
     _CASES.inc()
+    with REGISTRY.histogram("fuzz.case.seconds").time():
+        return _evaluate_case(case)
+
+
+def _evaluate_case(case: FuzzCase) -> dict:
     x = case.execution
     models: dict[str, dict] = {}
     for name in DIFF_MODELS:

@@ -68,8 +68,13 @@ def run_ablation(
     if pipeline is None:
         with CheckPipeline(workers=workers, checkpoint=checkpoint) as pipeline:
             return run_ablation(target, max_events, synthesis, pipeline)
+    pipeline.log_event(
+        "driver.start", driver="ablation", arch=target, max_events=max_events
+    )
     with TRACER.span(f"ablation:{target}"):
-        return _run_ablation(target, max_events, synthesis, pipeline)
+        result = _run_ablation(target, max_events, synthesis, pipeline)
+    pipeline.log_event("driver.end", driver="ablation", arch=target)
+    return result
 
 
 def _run_ablation(

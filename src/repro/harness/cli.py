@@ -13,18 +13,71 @@ Usage::
     repro-harness stats results/metrics-table1.json
 
 The long-running drivers (``table1``, ``table2``, ``figure7``,
-``ablation``) take ``--workers`` (multiprocessing fan-out),
-``--checkpoint`` (JSONL file; a killed run restarted with the same path
-resumes instead of recomputing), and ``--stats [PATH]`` (dump the merged
-observability metrics as JSON, by default next to ``results/``).  The
-``stats`` subcommand pretty-prints such a dump.
+``ablation``) and ``fuzz`` take ``--workers`` (multiprocessing
+fan-out), ``--checkpoint`` (JSONL file; a killed run restarted with the
+same path resumes instead of recomputing), ``--stats [PATH]`` (dump the
+merged observability metrics as JSON, by default next to ``results/``),
+``--trace [PATH]`` (Chrome trace-event JSON over the merged span
+forest, loadable in Perfetto, one lane per worker pid), and
+``--profile [PATH]`` (per-IR-plan-node cost attribution: hot-node
+table + planner-calibration report on stderr, samples as JSON;
+``--profile-dot PREFIX`` additionally writes one annotated Graphviz
+file per profiled model).  The ``stats`` subcommand pretty-prints a
+stats dump.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stats",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write merged metrics JSON after the run "
+            "(default FILE: results/metrics-<command>.json)"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a Chrome trace-event JSON (Perfetto-loadable) after "
+            "the run (default FILE: results/trace-<command>.json)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help=(
+            "enable the per-IR-plan-node profiler; prints the hot-node "
+            "table and calibration report, writes samples as JSON "
+            "(default FILE: results/profile-<command>.json)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-dot",
+        default=None,
+        metavar="PREFIX",
+        help=(
+            "with --profile: write Graphviz plan DAGs annotated with "
+            "observed cost, one <PREFIX>-<model>.dot per profiled model"
+        ),
+    )
 
 
 def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
@@ -40,17 +93,22 @@ def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="JSONL checkpoint file; rerun with the same file to resume",
     )
-    parser.add_argument(
-        "--stats",
-        nargs="?",
-        const="",
-        default=None,
-        metavar="FILE",
-        help=(
-            "write merged metrics JSON after the run "
-            "(default FILE: results/metrics-<command>.json)"
-        ),
-    )
+    _add_observability_flags(parser)
+
+
+def _apply_profile(args: argparse.Namespace) -> None:
+    """Turn the profiler on before the run when ``--profile`` was given.
+
+    Also exports ``REPRO_PROFILE=1`` so pool workers (whose init resets
+    observability state back to the environment's defaults) come up
+    profiling too, under both fork and spawn start methods.
+    """
+    if getattr(args, "profile", None) is None:
+        return
+    os.environ["REPRO_PROFILE"] = "1"
+    from ..obs import PROFILER
+
+    PROFILER.enable()
 
 
 def _write_stats(args: argparse.Namespace) -> None:
@@ -63,8 +121,95 @@ def _write_stats(args: argparse.Namespace) -> None:
     print(f"metrics written to {path}", file=sys.stderr)
 
 
+def _write_trace(args: argparse.Namespace) -> None:
+    if getattr(args, "trace", None) is None:
+        return
+    from ..obs import write_chrome_trace
+
+    path = args.trace or f"results/trace-{args.command}.json"
+    write_chrome_trace(path)
+    print(f"trace written to {path} (open in ui.perfetto.dev)", file=sys.stderr)
+
+
+def _write_profile(args: argparse.Namespace) -> None:
+    if getattr(args, "profile", None) is None:
+        return
+    from pathlib import Path
+
+    from ..obs import PROFILER
+
+    print(PROFILER.hot_table(20), file=sys.stderr)
+    print(PROFILER.calibration_report(), file=sys.stderr)
+    path = Path(args.profile or f"results/profile-{args.command}.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(PROFILER.snapshot(), indent=2) + "\n")
+    print(f"profile written to {path}", file=sys.stderr)
+    prefix = getattr(args, "profile_dot", None)
+    if prefix:
+        from .pipeline import model_for
+
+        for name in sorted(PROFILER.snapshot()["plans"]):
+            try:
+                plan = model_for(name).plan()
+            except Exception:
+                continue
+            dot_path = Path(f"{prefix}-{name}.dot")
+            dot_path.parent.mkdir(parents=True, exist_ok=True)
+            dot_path.write_text(PROFILER.dot(plan) + "\n")
+            print(f"plan DAG written to {dot_path}", file=sys.stderr)
+
+
+def _write_run_outputs(args: argparse.Namespace) -> None:
+    """All post-run observability artifacts (--stats/--trace/--profile)."""
+    _write_stats(args)
+    _write_trace(args)
+    _write_profile(args)
+
+
+#: Span children rendered per node before eliding (big fan-out batches
+#: would otherwise swamp the digest with thousands of per-job lines).
+_MAX_SPAN_CHILDREN = 12
+
+
+def _render_span(span: dict, parent_elapsed: float | None, depth: int, lines: list) -> None:
+    elapsed = span.get("elapsed", 0.0)
+    try:
+        elapsed = float(elapsed)
+    except (TypeError, ValueError):
+        elapsed = 0.0
+    share = ""
+    if parent_elapsed:
+        share = f" ({100 * elapsed / parent_elapsed:5.1f}% of parent)"
+    tags = span.get("tags") or {}
+    tag_text = "".join(f" {k}={tags[k]}" for k in sorted(tags))
+    lines.append(
+        f"  {'  ' * depth}{span.get('name', '?')} "
+        f"{elapsed:9.3f}s{share}{tag_text}"
+    )
+    children = span.get("children") or []
+    for child in children[:_MAX_SPAN_CHILDREN]:
+        _render_span(child, elapsed, depth + 1, lines)
+    hidden = children[_MAX_SPAN_CHILDREN:]
+    if hidden:
+        hidden_s = sum(
+            child.get("elapsed", 0.0)
+            for child in hidden
+            if isinstance(child.get("elapsed", 0.0), (int, float))
+        )
+        lines.append(
+            f"  {'  ' * (depth + 1)}... ({len(hidden)} more children, "
+            f"{hidden_s:.3f}s)"
+        )
+
+
 def _render_stats_dump(dump: dict) -> str:
-    """A human-oriented digest of a ``--stats`` JSON dump."""
+    """A human-oriented digest of a ``--stats`` JSON dump.
+
+    Tolerates malformed records (hand-edited dumps, older versions):
+    a timer/histogram entry that is not a dict, or is missing
+    ``count``/``total``, is flagged as partial instead of crashing the
+    renderer.
+    """
     lines = ["cache hit rates:"]
     hit_rates = dump.get("hit_rates", {})
     if any(rate is not None for rate in hit_rates.values()):
@@ -79,12 +224,35 @@ def _render_stats_dump(dump: dict) -> str:
         lines.append("timings:")
         for name in sorted(timers):
             t = timers[name]
-            count = t.get("count", 0)
-            total = t.get("total", 0.0)
+            try:
+                count = int(t["count"])
+                total = float(t["total"])
+                maximum = float(t.get("max", 0.0))
+            except (TypeError, KeyError, ValueError):
+                lines.append(f"  {name:<36} (partial record: {t!r})")
+                continue
             mean = total / count if count else 0.0
             lines.append(
                 f"  {name:<36} n={count:<8} total={total:9.3f}s "
-                f"mean={mean:.6f}s max={t.get('max', 0.0):.6f}s"
+                f"mean={mean:.6f}s max={maximum:.6f}s"
+            )
+    histograms = dump.get("histograms", {})
+    if histograms:
+        lines.append("latency histograms:")
+        for name in sorted(histograms):
+            h = histograms[name]
+            try:
+                count = int(h["count"])
+                p50 = float(h.get("p50", 0.0))
+                p90 = float(h.get("p90", 0.0))
+                p99 = float(h.get("p99", 0.0))
+                maximum = float(h.get("max", 0.0))
+            except (TypeError, KeyError, ValueError):
+                lines.append(f"  {name:<36} (partial record: {h!r})")
+                continue
+            lines.append(
+                f"  {name:<36} n={count:<8} p50={p50:.6f}s "
+                f"p90={p90:.6f}s p99={p99:.6f}s max={maximum:.6f}s"
             )
     counters = dump.get("counters", {})
     if counters:
@@ -101,6 +269,23 @@ def _render_stats_dump(dump: dict) -> str:
         lines.append("distinct keys:")
         for name in sorted(uniques):
             lines.append(f"  {name:<36} {uniques[name]}")
+    spans = dump.get("spans") or []
+    if spans:
+        lines.append("spans:")
+        for root in spans:
+            if isinstance(root, dict):
+                _render_span(root, None, 0, lines)
+    profile = dump.get("profile") or {}
+    nodes = profile.get("nodes") or []
+    if nodes:
+        lines.append("hot plan nodes (self time):")
+        for n in nodes[:10]:
+            lines.append(
+                f"  {n.get('self_seconds', 0.0):9.4f}s "
+                f"{n.get('label', '?'):<20} "
+                f"[{n.get('model', '?')}/{n.get('constraint', '?')}] "
+                f"evals={n.get('count', 0)} hits={n.get('hits', 0)}"
+            )
     return "\n".join(lines)
 
 
@@ -200,19 +385,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="worker processes (default: REPRO_PIPELINE_WORKERS or 1)",
     )
-    p_fz.add_argument(
-        "--stats",
-        nargs="?",
-        const="",
-        default=None,
-        metavar="FILE",
-        help="write merged metrics JSON after the run",
-    )
+    _add_observability_flags(p_fz)
 
     p_st = sub.add_parser("stats", help="pretty-print a --stats JSON dump")
     p_st.add_argument("path", help="metrics JSON written by --stats")
 
     args = parser.parse_args(argv)
+    _apply_profile(args)
 
     if args.command == "table1":
         from .table1 import run_table1
@@ -226,7 +405,7 @@ def main(argv: list[str] | None = None) -> int:
                 checkpoint=args.checkpoint,
             ).render()
         )
-        _write_stats(args)
+        _write_run_outputs(args)
     elif args.command == "table2":
         from .table2 import run_table2
 
@@ -235,7 +414,7 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers, checkpoint=args.checkpoint
             ).render()
         )
-        _write_stats(args)
+        _write_run_outputs(args)
     elif args.command == "figure7":
         from .figure7 import run_figure7
 
@@ -248,7 +427,7 @@ def main(argv: list[str] | None = None) -> int:
                 checkpoint=args.checkpoint,
             ).render()
         )
-        _write_stats(args)
+        _write_run_outputs(args)
     elif args.command == "rtl-bug":
         from .rtl_bug import run_rtl_bug
 
@@ -268,7 +447,7 @@ def main(argv: list[str] | None = None) -> int:
                 checkpoint=args.checkpoint,
             ).render()
         )
-        _write_stats(args)
+        _write_run_outputs(args)
     elif args.command == "export":
         from ..enumeration import synthesise
         from .export import export_suite
@@ -317,7 +496,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         print(report.render())
-        _write_stats(args)
+        _write_run_outputs(args)
         return 0 if report.clean else 1
     elif args.command == "stats":
         with open(args.path, encoding="utf-8") as handle:

@@ -97,8 +97,12 @@ def run_figure7(
                 return run_figure7(
                     arch, max_events, time_budget, synthesis, pipeline
                 )
+        pipeline.log_event(
+            "driver.start", driver="figure7", arch=arch, max_events=max_events
+        )
         with TRACER.span(f"figure7:{arch}"):
             synthesis = pipeline.synthesis(arch, max_events, time_budget)
+        pipeline.log_event("driver.end", driver="figure7", arch=arch)
     return Figure7Result(
         arch=arch,
         max_events=max_events,

@@ -22,8 +22,17 @@ shared cache layer:
 * **retry/backoff + observability** -- failing jobs retry with
   exponential backoff, slow jobs are flagged against a soft timeout,
   and per-job wall time, queue wait, and worker utilization land in
-  :data:`repro.obs.REGISTRY` (pool workers accumulate per-process and
-  ship deltas back with each result -- merge-on-join).
+  :data:`repro.obs.REGISTRY` (both as timers and as log2 histograms
+  with p50/p90/p99).  Pool workers accumulate per-process and ship
+  deltas back with each result -- merge-on-join -- and the payload now
+  carries the worker's finished span trees and profiler samples too:
+  each job's span is grafted under the parent's open ``pipeline.batch``
+  span tagged with the worker pid, so ``--stats`` and ``--trace``
+  finally show where worker time goes.
+* **run-event log** -- with a checkpoint configured (or an explicit
+  ``runlog`` path) the pipeline appends JSONL progress events
+  (``run.start``/``run.batch``/``run.heartbeat``/``run.end`` with
+  throughput and ETA) next to the checkpoint file.
 
 Jobs reference hardware and models *by name* so that worker processes
 can rebuild them locally instead of pickling model objects; each worker
@@ -41,8 +50,11 @@ from typing import Callable, Iterable, Sequence
 from ..enumeration import SynthesisResult, synthesise
 from ..models import get_model
 from ..models.base import MemoryModel
-from ..obs import REGISTRY, TRACER
+from ..obs import PROFILER, REGISTRY, TRACER, RunLog, reset_observability
 from .checkpoint import CheckpointStore, job_digest
+
+#: Seconds between ``run.heartbeat`` events while a batch drains.
+_HEARTBEAT_SECONDS = 30.0
 
 # ---------------------------------------------------------------------------
 # Per-process registries (shared by the driver process and pool workers)
@@ -137,24 +149,41 @@ class JobPolicy:
     soft_timeout: float | None = None
 
 
+def _job_span_name(fn: Callable, item) -> str:
+    """A stable span name for one job: the job-tuple kind when there is
+    one, the mapped function's name otherwise (fuzz cases)."""
+    if isinstance(item, tuple) and item and isinstance(item[0], str):
+        return f"job:{item[0]}"
+    return f"job:{getattr(fn, '__name__', 'call')}"
+
+
 def _invoke_with_policy(fn: Callable, item, submitted: float, policy: JobPolicy):
-    """One instrumented job evaluation: queue wait, retries, wall time."""
+    """One instrumented job evaluation: queue wait, retries, wall time.
+
+    Each job runs inside its own span -- a child of the open
+    ``pipeline.batch`` span on the sequential path, a root span in a
+    pool worker (shipped to the parent with the job's result).
+    """
     start = time.monotonic()
-    REGISTRY.timer("pipeline.job.queue_wait_seconds").observe(start - submitted)
+    wait = start - submitted
+    REGISTRY.timer("pipeline.job.queue_wait_seconds").observe(wait)
+    REGISTRY.histogram("pipeline.job.queue_wait_seconds").observe(wait)
     attempt = 0
-    while True:
-        try:
-            result = fn(item)
-            break
-        except Exception:
-            if attempt >= policy.retries:
-                REGISTRY.counter("pipeline.jobs.failed").inc()
-                raise
-            REGISTRY.counter("pipeline.jobs.retries").inc()
-            time.sleep(policy.backoff * (2**attempt))
-            attempt += 1
+    with TRACER.span(_job_span_name(fn, item)):
+        while True:
+            try:
+                result = fn(item)
+                break
+            except Exception:
+                if attempt >= policy.retries:
+                    REGISTRY.counter("pipeline.jobs.failed").inc()
+                    raise
+                REGISTRY.counter("pipeline.jobs.retries").inc()
+                time.sleep(policy.backoff * (2**attempt))
+                attempt += 1
     elapsed = time.monotonic() - start
     REGISTRY.timer("pipeline.job.seconds").observe(elapsed)
+    REGISTRY.histogram("pipeline.job.seconds").observe(elapsed)
     REGISTRY.counter("pipeline.jobs.completed").inc()
     if policy.soft_timeout is not None and elapsed > policy.soft_timeout:
         REGISTRY.counter("pipeline.jobs.soft_timeouts").inc()
@@ -164,9 +193,10 @@ def _invoke_with_policy(fn: Callable, item, submitted: float, policy: JobPolicy)
 class _PoolTask:
     """The picklable callable shipped to pool workers.
 
-    Returns ``(result, metrics_delta, error)`` so the parent can merge
-    the worker's per-process metrics even when the job failed; the
-    parent re-raises ``error`` after merging.
+    Returns ``(result, delta, error)`` where ``delta`` bundles the
+    worker's metrics delta, its finished span trees, its profiler
+    samples, and its pid, so the parent can merge all of them even when
+    the job failed; the parent re-raises ``error`` after merging.
     """
 
     __slots__ = ("fn", "policy")
@@ -175,23 +205,44 @@ class _PoolTask:
         self.fn = fn
         self.policy = policy
 
+    def _delta(self) -> dict:
+        return {
+            "pid": os.getpid(),
+            "metrics": REGISTRY.flush_delta(),
+            "spans": TRACER.flush_roots(),
+            "profile": PROFILER.flush_delta(),
+        }
+
     def __call__(self, packed):
         submitted, item = packed
         try:
             result = _invoke_with_policy(self.fn, item, submitted, self.policy)
-            return result, REGISTRY.flush_delta(), None
+            return result, self._delta(), None
         except Exception as error:
-            return None, REGISTRY.flush_delta(), error
+            return None, self._delta(), error
+
+
+def _merge_worker_delta(delta: dict) -> None:
+    """Fold one worker payload into the parent's registry, tracer (spans
+    grafted under the open ``pipeline.batch`` span, tagged by pid) and
+    profiler."""
+    REGISTRY.merge(delta["metrics"])
+    spans = delta.get("spans")
+    if spans:
+        TRACER.graft(spans, tags={"pid": delta["pid"]})
+    PROFILER.merge(delta.get("profile"))
 
 
 def _pool_worker_init() -> None:
-    """Reset the worker's metrics registry after fork/spawn.
+    """Reset the worker's observability state after fork/spawn.
 
-    A forked worker inherits a copy of the parent's registry; without a
-    reset its first ``flush_delta`` would re-report everything the
-    parent had already accumulated.
+    A forked worker inherits a copy of the parent's registry, span roots
+    and profiler samples; without a reset its first flush would
+    re-report everything the parent had already accumulated.  (The
+    profiler's *enabled* flag survives the reset via the
+    ``REPRO_PROFILE`` environment variable, which ``--profile`` sets.)
     """
-    REGISTRY.reset()
+    reset_observability()
 
 
 class CheckPipeline:
@@ -208,6 +259,10 @@ class CheckPipeline:
             :class:`JobPolicy` knobs.  ``None`` reads the
             ``REPRO_PIPELINE_RETRIES`` / ``REPRO_PIPELINE_BACKOFF`` /
             ``REPRO_PIPELINE_SOFT_TIMEOUT`` environment variables.
+        runlog: optional path for the JSONL run-event log.  ``None``
+            derives ``<checkpoint stem>.events.jsonl`` next to the
+            checkpoint file when one is configured (no checkpoint, no
+            log); ``False`` disables the log explicitly.
     """
 
     def __init__(
@@ -217,6 +272,7 @@ class CheckPipeline:
         retries: int | None = None,
         retry_backoff: float | None = None,
         soft_timeout: float | None = None,
+        runlog: str | Path | None | bool = None,
     ):
         if workers is None:
             workers = int(os.environ.get("REPRO_PIPELINE_WORKERS", "1"))
@@ -236,9 +292,48 @@ class CheckPipeline:
         self.checkpoint = (
             CheckpointStore(checkpoint) if checkpoint is not None else None
         )
+        if runlog is None and checkpoint is not None:
+            path = Path(checkpoint)
+            runlog = path.with_name(path.stem + ".events.jsonl")
+        self.runlog = RunLog(runlog) if runlog else None
+        self._jobs_done = 0
+        self._last_heartbeat = time.monotonic()
         self._synthesis_cache: dict[tuple, SynthesisResult] = {}
         self._pool = None
         REGISTRY.gauge("pipeline.workers").set(self.workers)
+        self.log_event(
+            "run.start",
+            workers=self.workers,
+            retries=self.policy.retries,
+            soft_timeout=self.policy.soft_timeout,
+            checkpoint=str(checkpoint) if checkpoint is not None else None,
+            profile=PROFILER.enabled,
+        )
+
+    def log_event(self, type: str, **fields) -> None:
+        """Append one event to the run log (no-op without one)."""
+        if self.runlog is not None:
+            self.runlog.event(type, **fields)
+
+    def _heartbeat(self, done: int, total: int, started: float) -> None:
+        """Emit a throttled ``run.heartbeat`` with rate and ETA while a
+        batch (or batched campaign) drains."""
+        if self.runlog is None:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < _HEARTBEAT_SECONDS:
+            return
+        self._last_heartbeat = now
+        elapsed = now - started
+        rate = done / elapsed if elapsed > 0 else None
+        eta = (total - done) / rate if rate else None
+        self.log_event(
+            "run.heartbeat",
+            done=done,
+            total=total,
+            rate_per_s=round(rate, 3) if rate is not None else None,
+            eta_seconds=round(eta, 1) if eta is not None else None,
+        )
 
     # The pipeline owns one worker pool across batches; drivers issue
     # several small batches (one per test size), so per-batch pool
@@ -257,6 +352,10 @@ class CheckPipeline:
             self._pool = None
         if self.checkpoint is not None:
             self.checkpoint.close()
+        if self.runlog is not None:
+            self.log_event("run.end", jobs=self._jobs_done)
+            self.runlog.close()
+            self.runlog = None
 
     def __enter__(self) -> "CheckPipeline":
         return self
@@ -316,6 +415,7 @@ class CheckPipeline:
                     if on_result is not None:
                         on_result(index, result)
                     results.append(result)
+                    self._heartbeat(index + 1, len(items), batch_start)
             else:
                 results = self._map_pool(fn, items, on_result)
             wall = time.monotonic() - batch_start
@@ -324,6 +424,14 @@ class CheckPipeline:
                 REGISTRY.gauge("pipeline.worker_utilization").set(
                     min(1.0, busy / (wall * self.workers))
                 )
+        self._jobs_done += len(items)
+        if items:
+            self.log_event(
+                "run.batch",
+                jobs=len(items),
+                seconds=round(wall, 4),
+                rate_per_s=round(len(items) / wall, 3) if wall > 0 else None,
+            )
         return results
 
     def map_batched(
@@ -347,6 +455,7 @@ class CheckPipeline:
         settings.  Returns the number of items processed.
         """
         produced = 0
+        started = time.monotonic()
         while produced < total:
             count = min(batch_size, total - produced)
             items = list(generate(produced, count))
@@ -355,6 +464,7 @@ class CheckPipeline:
             results = self.map(fn, items)
             on_batch(produced, items, results)
             produced += len(items)
+            self._heartbeat(produced, total, started)
         return produced
 
     def _map_pool(
@@ -388,12 +498,13 @@ class CheckPipeline:
         for index, (result, delta, error) in enumerate(
             self._pool.imap(task, [(submitted, item) for item in items])
         ):
-            REGISTRY.merge(delta)
+            _merge_worker_delta(delta)
             if error is not None:
                 raise error
             if on_result is not None:
                 on_result(index, result)
             results.append(result)
+            self._heartbeat(index + 1, len(items), submitted)
         return results
 
     def map_checkpointed(

@@ -115,8 +115,13 @@ def run_table1(
             return run_table1(
                 arch, max_events, time_budget, synthesis, pipeline
             )
+    pipeline.log_event(
+        "driver.start", driver="table1", arch=arch, max_events=max_events
+    )
     with TRACER.span(f"table1:{arch}"):
-        return _run_table1(arch, max_events, time_budget, synthesis, pipeline)
+        result = _run_table1(arch, max_events, time_budget, synthesis, pipeline)
+    pipeline.log_event("driver.end", driver="table1", arch=arch)
+    return result
 
 
 def _run_table1(

@@ -153,6 +153,7 @@ def run_table2(
         ("elision", arch, None, time_budget)
         for arch in ("x86", "power", "armv8", "armv8-fixed")
     )
+    pipeline.log_event("driver.start", driver="table2", rows=len(specs))
     with TRACER.span("table2"):
         rows = pipeline.map_checkpointed(
             _run_row,
@@ -161,4 +162,5 @@ def run_table2(
             encode=dataclasses.asdict,
             decode=lambda encoded: Table2Row(**encoded),
         )
+    pipeline.log_event("driver.end", driver="table2")
     return Table2Result(rows=rows)

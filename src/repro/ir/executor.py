@@ -37,18 +37,23 @@ Executions whose primitive relations live in mixed universes
 falls back to a Relation-level evaluation of the same terms, which is
 also the reference implementation the property tests compare against.
 
-Set ``REPRO_IR_PROFILE=1`` to record per-constraint and per-node-kind
-timers (``ir.constraint.*``, ``ir.node.*``) at some hot-path cost.
+Profiling: when :data:`~repro.obs.profile.PROFILER` is enabled
+(``--profile`` / ``REPRO_PROFILE=1``), evaluation takes the interpretive
+path (compiled runners bypassed, so every node is visible) and each node
+evaluation is timed and attributed to ``(model, constraint, node uid)``
+-- see :mod:`repro.obs.profile` for the hot-node table, dot export and
+planner-calibration report.  When disabled the only hot-path cost is
+one ``PROFILER.enabled`` attribute check per node evaluation.
 """
 
 from __future__ import annotations
 
-import os
 import time
 from operator import and_ as _and, or_ as _or
 
 from ..events import NA as _NA_TAG
 from ..obs import REGISTRY
+from ..obs.profile import PROFILER
 from ..relations import Relation
 from ..relations.context import RelationContext, global_intern
 from ..relations.relation import (
@@ -67,8 +72,6 @@ _NODE_HITS = REGISTRY.counter("ir.exec.node_cache_hits")
 _SHORT_CIRCUITS = REGISTRY.counter("ir.exec.constraint_short_circuits")
 _FALLBACKS = REGISTRY.counter("ir.exec.relation_fallbacks")
 _FAST_RUNS = REGISTRY.counter("ir.exec.compiled_runs")
-
-_PROFILE = bool(os.environ.get("REPRO_IR_PROFILE"))
 
 _MISS = object()
 
@@ -210,7 +213,11 @@ def _eval(st: _State, t: Term):
     v = vals.get(t.uid, _MISS)
     if v is not _MISS:
         _NODE_HITS.inc()
+        if PROFILER.enabled:
+            PROFILER.hit(t)
         return v
+    if PROFILER.enabled:
+        return _eval_profiled(st, t)
     if t.intern_root:
         v = _static_fetch(st, t)
     elif t.op == "fix":
@@ -218,6 +225,26 @@ def _eval(st: _State, t: Term):
     else:
         v = _compute(st, t)
     vals[t.uid] = v
+    return v
+
+
+def _eval_profiled(st: _State, t: Term):
+    """The memo-miss path under profiling: time the node (self time via
+    the profiler's child-time stack) and record the result cardinality."""
+    PROFILER.begin()
+    started = time.perf_counter()
+    try:
+        if t.intern_root:
+            v = _static_fetch(st, t)
+        elif t.op == "fix":
+            v = _eval_fix(st, t)
+        else:
+            v = _compute(st, t)
+    except BaseException:
+        PROFILER.abort(time.perf_counter() - started)
+        raise
+    st.vals[t.uid] = v
+    PROFILER.end(t, time.perf_counter() - started, v)
     return v
 
 
@@ -513,25 +540,6 @@ def _apply(st: _State, t: Term, ev):
     return _apply_rest(st, t, op, t.args, ev)
 
 
-if _PROFILE:  # pragma: no cover - opt-in profiling build
-    _unprofiled_apply = _apply
-    _unprofiled_compute = _compute
-
-    def _apply(st, t, ev):  # type: ignore[no-redef]
-        start = time.perf_counter()
-        try:
-            return _unprofiled_apply(st, t, ev)
-        finally:
-            REGISTRY.observe(f"ir.node.{t.op}", time.perf_counter() - start)
-
-    def _compute(st, t):  # type: ignore[no-redef]
-        start = time.perf_counter()
-        try:
-            return _unprofiled_compute(st, t)
-        finally:
-            REGISTRY.observe(f"ir.node.{t.op}", time.perf_counter() - start)
-
-
 # ---------------------------------------------------------------------------
 # Constraint checking
 # ---------------------------------------------------------------------------
@@ -564,11 +572,13 @@ def _check(st: _State, constraint: Constraint) -> bool:
 
 
 def _checked(st: _State, plan: Plan, constraint: Constraint) -> bool:
-    if _PROFILE:  # pragma: no cover - opt-in profiling build
-        with REGISTRY.timer(
-            f"ir.constraint.{plan.name}.{constraint.name}"
-        ).time():
-            return _check(st, constraint)
+    if PROFILER.enabled:
+        PROFILER.note_plan(plan)
+        with PROFILER.constraint(plan.name, constraint.name):
+            with REGISTRY.timer(
+                f"ir.constraint.{plan.name}.{constraint.name}"
+            ).time():
+                return _check(st, constraint)
     return _check(st, constraint)
 
 
@@ -761,7 +771,10 @@ def consistent(plan: Plan, x) -> bool:
     st = _state(x)
     scheduled = plan.scheduled
     try:
-        if _PROFILE:  # pragma: no cover - opt-in profiling build
+        if PROFILER.enabled:
+            # Interpretive path only: the compiled runners fold node
+            # evaluation into opaque generated code, which would hide
+            # exactly the per-node structure being profiled.
             for position, constraint in enumerate(scheduled):
                 if not _checked(st, plan, constraint):
                     if position + 1 < len(scheduled):

@@ -3,7 +3,11 @@
 Every instrumented layer (relations, cat, enumeration, sim, harness)
 records into :data:`REGISTRY` and :data:`TRACER`.  The harness CLI dumps
 both with :func:`stats_snapshot` / :func:`write_stats`; tests isolate
-themselves with :func:`reset_observability`.
+themselves with :func:`reset_observability`.  The opt-in per-plan-node
+profiler lives at :data:`PROFILER` (:mod:`repro.obs.profile`); span
+forests export to Chrome trace JSON via
+:func:`~repro.obs.trace_export.write_chrome_trace`; long runs leave a
+JSONL event log via :class:`~repro.obs.runlog.RunLog`.
 
 See ``docs/observability.md`` for the metric naming scheme and how to
 read a stats dump.
@@ -14,21 +18,38 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from .metrics import Counter, Gauge, MetricsRegistry, Timer, UniqueSet
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    UniqueSet,
+)
+from .profile import PROFILER, PlanProfiler
+from .runlog import RunLog, read_runlog
+from .trace_export import chrome_trace_events, write_chrome_trace
 from .tracing import Span, Tracer
 
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
+    "PROFILER",
+    "PlanProfiler",
     "REGISTRY",
+    "RunLog",
     "Span",
     "TRACER",
     "Timer",
     "Tracer",
     "UniqueSet",
+    "chrome_trace_events",
+    "read_runlog",
     "reset_observability",
     "stats_snapshot",
+    "write_chrome_trace",
     "write_stats",
 ]
 
@@ -55,14 +76,19 @@ def stats_snapshot() -> dict:
         rate = REGISTRY.hit_rate(prefix)
         if rate is not None:
             hit_rates[prefix] = rate
-    return {
+    out = {
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
         "timers": snapshot["timers"],
+        "histograms": snapshot["histograms"],
         "uniques": snapshot["uniques"],
         "hit_rates": hit_rates,
         "spans": TRACER.snapshot(),
     }
+    profile = PROFILER.snapshot()
+    if profile["nodes"] or profile["plans"]:
+        out["profile"] = profile
+    return out
 
 
 def write_stats(path: str | Path) -> Path:
@@ -74,6 +100,8 @@ def write_stats(path: str | Path) -> Path:
 
 
 def reset_observability() -> None:
-    """Drop all recorded metrics and spans (test isolation)."""
+    """Drop all recorded metrics, spans and profile samples (test
+    isolation)."""
     REGISTRY.reset()
     TRACER.reset()
+    PROFILER.reset()

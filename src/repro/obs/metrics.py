@@ -2,13 +2,16 @@
 
 The pipeline, the relation engine, the cat evaluator, and the candidate
 enumerator all record into one process-global :data:`REGISTRY` (exposed
-via :mod:`repro.obs`).  Three metric kinds cover every call site:
+via :mod:`repro.obs`).  Five metric kinds cover every call site:
 
 * **counters** -- monotone event counts (cache hits/misses, candidates
   examined, retries);
 * **timers** -- accumulated durations with call counts and maxima
   (per-job wall time, queue wait, per-bound synthesis time);
-* **gauges** -- last-written values (worker count, utilization).
+* **gauges** -- last-written values (worker count, utilization);
+* **histograms** -- log2-bucketed duration distributions with
+  p50/p90/p99 (per-job wall time, queue wait, fuzz per-case time);
+* **unique-sets** -- distinct-key counts (fuzz coverage).
 
 Concurrency model.  Within a process, every mutation takes the owning
 registry's lock, so concurrent threads never corrupt a metric.  Across
@@ -25,6 +28,7 @@ snapshot dumps directly to the ``repro-harness ... --stats`` JSON file.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from contextlib import contextmanager
@@ -108,6 +112,102 @@ class Timer:
         return self.total / self.count if self.count else 0.0
 
 
+#: Bucket-exponent clamp: 2**-30 s (~1 ns) .. 2**10 s (~17 min) spans
+#: every duration the harness measures; out-of-range observations land
+#: in the edge buckets.
+_BUCKET_MIN = -30
+_BUCKET_MAX = 10
+
+
+def _bucket_of(seconds: float) -> int:
+    """``floor(log2(seconds))``, clamped, via exact frexp arithmetic."""
+    if seconds <= 0.0:
+        return _BUCKET_MIN
+    exponent = math.frexp(seconds)[1] - 1  # 2**e <= seconds < 2**(e+1)
+    if exponent < _BUCKET_MIN:
+        return _BUCKET_MIN
+    if exponent > _BUCKET_MAX:
+        return _BUCKET_MAX
+    return exponent
+
+
+def _bucket_quantile(buckets: dict[int, int], count: int, q: float) -> float:
+    """The upper edge (seconds) of the bucket holding the q-quantile."""
+    if count <= 0:
+        return 0.0
+    rank = max(1, math.ceil(q * count))
+    cumulative = 0
+    for exponent in sorted(buckets):
+        cumulative += buckets[exponent]
+        if cumulative >= rank:
+            return 2.0 ** (exponent + 1)
+    return 2.0 ** (_BUCKET_MAX + 1)  # pragma: no cover - counts disagree
+
+
+class Histogram:
+    """A log2-bucketed duration distribution.
+
+    An observation of ``s`` seconds lands in bucket ``floor(log2(s))``
+    (clamped to ``[-30, 10]``).  Bucket counts are monotone counters, so
+    the cross-process story is the same per-bucket differencing and
+    summation as timers: merging a worker's flush deltas reproduces its
+    snapshot exactly, at any batch boundary.  Percentiles read off the
+    holding bucket's upper edge (``2**(i+1)`` seconds) -- within a
+    factor of two of the true value, which is the resolution
+    tail-latency questions need, at O(1) memory per metric.
+    """
+
+    __slots__ = ("name", "_lock", "count", "total", "max", "buckets")
+
+    def __init__(self, name: str, lock: threading.RLock):
+        self.name = name
+        self._lock = lock
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, seconds: float) -> None:
+        bucket = _bucket_of(seconds)
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max:
+                self.max = seconds
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        start = time.monotonic()
+        try:
+            yield
+        finally:
+            self.observe(time.monotonic() - start)
+
+    def quantile(self, q: float) -> float:
+        """The value at or below which a fraction ``q`` of observations
+        fall (bucket upper-edge estimate)."""
+        with self._lock:
+            return _bucket_quantile(self.buckets, self.count, q)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """Snapshot entry: accumulators, buckets (string keys so the
+        dict JSON-dumps), and headline percentiles."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max,
+            "buckets": {str(e): n for e, n in sorted(self.buckets.items())},
+            "p50": _bucket_quantile(self.buckets, self.count, 0.50),
+            "p90": _bucket_quantile(self.buckets, self.count, 0.90),
+            "p99": _bucket_quantile(self.buckets, self.count, 0.99),
+        }
+
+
 class UniqueSet:
     """A distinct-key counter: its value is how many different string
     keys have been added.
@@ -157,6 +257,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._uniques: dict[str, UniqueSet] = {}
         # Baseline for flush_delta: the snapshot state already reported.
         self._flushed: dict = _empty_snapshot()
@@ -182,6 +283,13 @@ class MetricsRegistry:
             metric = self._timers.get(name)
             if metric is None:
                 metric = self._timers[name] = Timer(name, self._lock)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, self._lock)
             return metric
 
     def unique(self, name: str) -> UniqueSet:
@@ -220,6 +328,9 @@ class MetricsRegistry:
                 "timers": {
                     name: {"count": t.count, "total": t.total, "max": t.max}
                     for name, t in self._timers.items()
+                },
+                "histograms": {
+                    name: h.to_dict() for name, h in self._histograms.items()
                 },
                 "uniques": {
                     name: u.value for name, u in self._uniques.items()
@@ -263,6 +374,16 @@ class MetricsRegistry:
                 timer.count += stats.get("count", 0)
                 timer.total += stats.get("total", 0.0)
                 timer.max = max(timer.max, stats.get("max", 0.0))
+            for name, stats in snapshot.get("histograms", {}).items():
+                histogram = self.histogram(name)
+                histogram.count += stats.get("count", 0)
+                histogram.total += stats.get("total", 0.0)
+                histogram.max = max(histogram.max, stats.get("max", 0.0))
+                for exponent, n in stats.get("buckets", {}).items():
+                    exponent = int(exponent)
+                    histogram.buckets[exponent] = (
+                        histogram.buckets.get(exponent, 0) + n
+                    )
             # Unique-sets merge by key (shipped in flush deltas); the
             # "uniques" counts in a plain snapshot carry no keys, so
             # they cannot be merged and are informational only.
@@ -288,6 +409,11 @@ class MetricsRegistry:
                 timer.count = 0
                 timer.total = 0.0
                 timer.max = 0.0
+            for histogram in self._histograms.values():
+                histogram.count = 0
+                histogram.total = 0.0
+                histogram.max = 0.0
+                histogram.buckets.clear()
             for unique in self._uniques.values():
                 unique._keys = set()
                 unique._unflushed = set()
@@ -305,7 +431,7 @@ class MetricsRegistry:
 
 
 def _empty_snapshot() -> dict:
-    return {"counters": {}, "gauges": {}, "timers": {}}
+    return {"counters": {}, "gauges": {}, "timers": {}, "histograms": {}}
 
 
 def _snapshot_difference(current: dict, baseline: dict) -> dict:
@@ -329,4 +455,25 @@ def _snapshot_difference(current: dict, baseline: dict) -> dict:
                 # (merge takes the larger side, so this is safe).
                 "max": stats["max"],
             }
-    return {"counters": counters, "gauges": dict(current["gauges"]), "timers": timers}
+    base_hists = baseline.get("histograms", {})
+    histograms = {}
+    for name, stats in current.get("histograms", {}).items():
+        base = base_hists.get(name, {"count": 0, "total": 0.0, "buckets": {}})
+        if stats["count"] != base["count"]:
+            base_buckets = base.get("buckets", {})
+            histograms[name] = {
+                "count": stats["count"] - base["count"],
+                "total": stats["total"] - base["total"],
+                "max": stats["max"],
+                "buckets": {
+                    exponent: n - base_buckets.get(exponent, 0)
+                    for exponent, n in stats["buckets"].items()
+                    if n != base_buckets.get(exponent, 0)
+                },
+            }
+    return {
+        "counters": counters,
+        "gauges": dict(current["gauges"]),
+        "timers": timers,
+        "histograms": histograms,
+    }

@@ -1,0 +1,110 @@
+"""Chrome trace-event export: span forests as Perfetto-loadable JSON.
+
+The tracer's span trees (:mod:`repro.obs.tracing`) already carry
+everything a trace viewer needs -- names, start times, durations, and
+(for spans grafted from pool workers) the owning pid.  This module
+flattens a forest into the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``chrome://tracing`` and https://ui.perfetto.dev: one
+complete ("X") event per span, grouped into per-process lanes by the
+``pid`` tag, with a process-name metadata row per lane.
+
+Timestamps are re-based to the earliest span in the forest, so traces
+start at t=0 regardless of the machine's monotonic-clock epoch.  Spans
+from forked workers share the parent's monotonic epoch (Linux
+``CLOCK_MONOTONIC``), so worker lanes line up with the main lane on one
+consistent timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Lane label for spans with no pid tag (the driver process).
+MAIN_LANE = "main"
+
+
+def _earliest(spans: list[dict]) -> float:
+    starts = [s.get("started", 0.0) for s in spans]
+    for span in spans:
+        child_min = _earliest(span.get("children", ()))
+        if child_min is not None:
+            starts.append(child_min)
+    return min(starts) if starts else None
+
+
+def chrome_trace_events(spans: list[dict], main_pid: int = 0) -> list[dict]:
+    """Flatten a span forest (``Tracer.snapshot()`` dicts) into Chrome
+    trace events.  Spans inherit their lane (pid) from the nearest
+    tagged ancestor; untagged trees land in the ``main_pid`` lane."""
+    base = _earliest(spans) or 0.0
+    events: list[dict] = []
+    lanes: set[int] = set()
+
+    def walk(span: dict, pid: int) -> None:
+        tags = dict(span.get("tags") or {})
+        pid = int(tags.pop("pid", pid))
+        lanes.add(pid)
+        event = {
+            "name": span.get("name", "?"),
+            "ph": "X",
+            "ts": round((span.get("started", base) - base) * 1e6),
+            "dur": round(span.get("elapsed", 0.0) * 1e6),
+            "pid": pid,
+            "tid": 1,
+        }
+        if tags:
+            event["args"] = tags
+        events.append(event)
+        for child in span.get("children", ()):
+            walk(child, pid)
+
+    for span in spans:
+        walk(span, main_pid)
+
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {
+                "name": MAIN_LANE if pid == main_pid else f"worker-{pid}"
+            },
+        }
+        for pid in sorted(lanes)
+    ]
+    return metadata + events
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: list[dict] | None = None,
+    main_pid: int | None = None,
+) -> Path:
+    """Write the span forest (default: the process-global tracer's) as a
+    Chrome trace JSON file; returns the written path."""
+    if spans is None:
+        from . import TRACER
+
+        spans = TRACER.snapshot()
+    if main_pid is None:
+        main_pid = os.getpid()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "traceEvents": chrome_trace_events(spans, main_pid),
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+def trace_pid_lanes(events: list[dict]) -> dict[int, list[dict]]:
+    """Group a trace's "X" events by pid lane (test/analysis helper)."""
+    lanes: dict[int, list[dict]] = {}
+    for event in events:
+        if event.get("ph") == "X":
+            lanes.setdefault(event["pid"], []).append(event)
+    return lanes

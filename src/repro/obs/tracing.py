@@ -11,9 +11,20 @@ different drivers).
 Spans nest per-thread: each thread has its own open-span stack, so a
 span opened inside another on the same thread becomes its child, while
 spans on other threads form their own roots.  Finished root spans are
-collected on the tracer (lock-protected); worker *processes* do not
-ship spans back -- their per-job costs surface through the pipeline's
-timers instead.
+collected on the tracer (lock-protected).
+
+**Across processes** the story mirrors the metrics registry's
+merge-on-join: a pool worker's finished root spans ride each job's
+``flush_delta`` payload back to the parent (:meth:`Tracer.flush_roots`),
+which :meth:`grafts <Tracer.graft>` them under its currently-open
+``pipeline.batch`` span tagged with the worker's pid -- so the stats
+dump and the Chrome-trace export (:mod:`repro.obs.trace_export`) show
+where worker time goes, per process.
+
+Span ``started`` timestamps come from :func:`time.monotonic`, which on
+the platforms we run on (Linux ``CLOCK_MONOTONIC``) shares one epoch
+across forked processes -- grafted worker spans therefore line up with
+parent spans on a common timeline in trace exports.
 """
 
 from __future__ import annotations
@@ -27,20 +38,40 @@ from typing import Iterator
 class Span:
     """One named interval plus its children (closed spans only)."""
 
-    __slots__ = ("name", "started", "elapsed", "children")
+    __slots__ = ("name", "started", "elapsed", "children", "tags")
 
     def __init__(self, name: str, started: float):
         self.name = name
         self.started = started
         self.elapsed = 0.0
         self.children: list[Span] = []
+        #: Optional string->scalar annotations (worker pid, job kind).
+        self.tags: dict | None = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
+            "started": self.started,
             "elapsed": self.elapsed,
             "children": [child.to_dict() for child in self.children],
         }
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span tree from its :meth:`to_dict` form (tolerant of
+        missing fields, so hand-edited or older dumps still load)."""
+        span = cls(data.get("name", "?"), data.get("started", 0.0))
+        span.elapsed = data.get("elapsed", 0.0)
+        tags = data.get("tags")
+        if tags:
+            span.tags = dict(tags)
+        span.children = [
+            cls.from_dict(child) for child in data.get("children", ())
+        ]
+        return span
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Span {self.name} {self.elapsed:.3f}s ({len(self.children)} children)>"
@@ -61,7 +92,7 @@ class Tracer:
         return stack
 
     @contextmanager
-    def span(self, name: str) -> Iterator[Span]:
+    def span(self, name: str, **tags) -> Iterator[Span]:
         """Open a span; it closes (and records its elapsed time) on exit.
 
         Exceptions propagate, but the span still closes -- a crashed
@@ -70,6 +101,8 @@ class Tracer:
         """
         stack = self._stack()
         span = Span(name, time.monotonic())
+        if tags:
+            span.tags = tags
         if stack:
             stack[-1].children.append(span)
         stack.append(span)
@@ -91,6 +124,36 @@ class Tracer:
         """All finished root span trees, as JSON-serialisable dicts."""
         with self._lock:
             return [root.to_dict() for root in self._roots]
+
+    def flush_roots(self) -> list[dict]:
+        """Drain the finished root spans (and return them as dicts).
+
+        Pool workers call this after each job so the parent can graft
+        exactly the spans that job produced, once -- the span twin of
+        :meth:`MetricsRegistry.flush_delta`.
+        """
+        with self._lock:
+            roots = self._roots
+            self._roots = []
+        return [root.to_dict() for root in roots]
+
+    def graft(self, span_dicts: list[dict], tags: dict | None = None) -> None:
+        """Adopt serialised span trees (from a worker's flush) into this
+        tracer: under the currently-open span on this thread when there
+        is one, as new roots otherwise.  ``tags`` (e.g. the worker pid)
+        are merged into each adopted root, where trace exports and the
+        stats renderer read them.
+        """
+        spans = [Span.from_dict(data) for data in span_dicts]
+        if tags:
+            for span in spans:
+                span.tags = {**(span.tags or {}), **tags}
+        parent = self.current()
+        if parent is not None:
+            parent.children.extend(spans)
+            return
+        with self._lock:
+            self._roots.extend(spans)
 
     def reset(self) -> None:
         with self._lock:

@@ -21,7 +21,12 @@ from repro.enumeration import enumerate_executions, get_config
 from repro.harness import CheckPipeline, run_table1
 from repro.models import get_model
 from repro.obs import REGISTRY, TRACER, reset_observability, stats_snapshot
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import (
+    _BUCKET_MAX,
+    _BUCKET_MIN,
+    MetricsRegistry,
+    _bucket_of,
+)
 from repro.obs.tracing import Tracer
 
 CACHE_PREFIXES = (
@@ -208,6 +213,121 @@ def test_reset_preserves_bound_metric_objects():
     assert snap["counters"]["bound.counter"] == 2
     assert snap["timers"]["bound.timer"]["count"] == 1
     assert registry.counter("bound.counter") is counter
+
+
+# ---------------------------------------------------------------------------
+# Histogram bucket/merge algebra
+# ---------------------------------------------------------------------------
+
+_durations = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    max_size=40,
+)
+
+
+def _hist_registry(observations) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for seconds in observations:
+        registry.histogram("h").observe(seconds)
+    return registry
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=1e-12, max_value=1e8, allow_nan=False))
+def test_bucket_brackets_its_value(seconds):
+    """Within the clamp range, bucket ``e`` holds exactly the values in
+    ``[2**e, 2**(e+1))``; outside it, observations land on the edges."""
+    bucket = _bucket_of(seconds)
+    assert _BUCKET_MIN <= bucket <= _BUCKET_MAX
+    if _BUCKET_MIN < bucket < _BUCKET_MAX:
+        assert 2.0**bucket <= seconds < 2.0 ** (bucket + 1)
+    elif bucket == _BUCKET_MIN:
+        assert seconds < 2.0 ** (_BUCKET_MIN + 1)
+    else:
+        assert seconds >= 2.0**_BUCKET_MAX
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_durations, b=_durations, c=_durations)
+def test_histogram_merge_is_associative(a, b, c):
+    """merge(merge(A, B), C) == merge(A, merge(B, C)): workers can join
+    in any grouping without changing the merged distribution."""
+    left = _hist_registry(a)
+    left.merge(_hist_registry(b).snapshot())
+    left.merge(_hist_registry(c).snapshot())
+    bc = _hist_registry(b)
+    bc.merge(_hist_registry(c).snapshot())
+    right = _hist_registry(a)
+    right.merge(bc.snapshot())
+    got, want = (
+        r.snapshot()["histograms"].get("h") for r in (left, right)
+    )
+    if got is None or want is None:
+        assert got == want
+        return
+    assert got["count"] == want["count"]
+    assert got["total"] == pytest.approx(want["total"])
+    assert got["max"] == pytest.approx(want["max"])
+    assert got["buckets"] == want["buckets"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(runs=st.lists(_durations, min_size=1, max_size=4))
+def test_histogram_flush_deltas_round_trip(runs):
+    """Merging a worker's per-batch flush deltas reproduces its own
+    snapshot exactly (same algebra as counters/timers)."""
+    worker = MetricsRegistry()
+    parent = MetricsRegistry()
+    for batch in runs:
+        for seconds in batch:
+            worker.histogram("h").observe(seconds)
+        parent.merge(worker.flush_delta())
+    direct = worker.snapshot()["histograms"].get("h")
+    merged = parent.snapshot()["histograms"].get("h")
+    if direct is None or direct["count"] == 0:
+        assert merged is None or merged["count"] == 0
+        return
+    assert merged["count"] == direct["count"]
+    assert merged["total"] == pytest.approx(direct["total"])
+    assert merged["buckets"] == direct["buckets"]
+    assert merged["p50"] == direct["p50"]
+    assert merged["p99"] == direct["p99"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    observations=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    ),
+    q1=st.floats(min_value=0.01, max_value=1.0),
+    q2=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_histogram_percentiles_are_monotone(observations, q1, q2):
+    """q1 <= q2 implies quantile(q1) <= quantile(q2); the headline
+    snapshot percentiles are ordered and bound the observed extremes."""
+    registry = _hist_registry(observations)
+    h = registry.histogram("h")
+    low, high = sorted((q1, q2))
+    assert h.quantile(low) <= h.quantile(high)
+    stats = h.to_dict()
+    assert stats["p50"] <= stats["p90"] <= stats["p99"]
+    # The percentile estimate is a bucket upper edge: never below the
+    # true value for that rank, so p99 bounds max from above (within
+    # the clamp range).
+    if 0.0 < stats["max"] < 2.0**_BUCKET_MAX:
+        assert stats["p99"] >= stats["max"] or stats["count"] > 1
+
+
+def test_histogram_reset_zeroes_in_place():
+    registry = MetricsRegistry()
+    h = registry.histogram("h")
+    h.observe(0.25)
+    registry.reset()
+    assert h.count == 0 and h.buckets == {}
+    h.observe(0.5)
+    assert registry.snapshot()["histograms"]["h"]["count"] == 1
 
 
 # ---------------------------------------------------------------------------
