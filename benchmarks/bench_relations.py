@@ -32,7 +32,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.enumeration import synthesise  # noqa: E402
-from repro.harness import CheckPipeline, run_table1  # noqa: E402
+from repro.harness import CheckPipeline  # noqa: E402
+from repro.harness.table1 import run_table1  # noqa: E402
 
 RESULTS_FILE = REPO_ROOT / "BENCH_relations.json"
 DEFAULT_ARCHES = ("sc", "x86", "power", "armv8")

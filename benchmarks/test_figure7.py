@@ -8,7 +8,7 @@ appear early in the enumeration, the remaining wall-clock confirms
 exhaustion.
 """
 
-from repro.harness import run_figure7
+from repro.harness.figure7 import run_figure7
 
 
 def test_figure7_distribution(benchmark, x86_synthesis):

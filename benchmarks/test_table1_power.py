@@ -12,7 +12,7 @@ Forbid test, and hides LB-shaped Allow tests exactly as real silicon
 does.
 """
 
-from repro.harness import run_table1
+from repro.harness.table1 import run_table1
 
 
 def test_table1_power_synthesis(benchmark):

@@ -10,7 +10,7 @@ machine, against which no Forbid test is observable and all small Allow
 tests are.
 """
 
-from repro.harness import run_table1
+from repro.harness.table1 import run_table1
 from repro.litmus import execution_to_litmus
 from repro.sim import TSOHardware
 

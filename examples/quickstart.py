@@ -9,9 +9,9 @@ the whole toolchain in ~60 lines.
 Run:  python examples/quickstart.py
 """
 
+from repro import api
 from repro.events import ExecutionBuilder
 from repro.litmus import execution_to_litmus, render
-from repro.models import get_model
 from repro.sim import TSOMachine
 
 
@@ -48,18 +48,18 @@ def main() -> None:
     print("=== Fig. 1 (no transaction) ===")
     print(fig1.describe())
     for name in ("sc", "x86", "x86tm", "powertm", "armv8tm"):
-        model = get_model(name)
-        verdict = "allowed" if model.consistent(fig1) else "FORBIDDEN"
+        model = api.load_model(name)
+        verdict = "allowed" if api.check(fig1, model) else "FORBIDDEN"
         print(f"  {model.name:<10} {verdict}")
 
     print()
     print("=== Fig. 2 (transactional) ===")
     print(fig2.describe())
     for name in ("x86", "x86tm", "powertm", "armv8tm", "tsc"):
-        model = get_model(name)
-        verdict = "allowed" if model.consistent(fig2) else "FORBIDDEN"
+        model = api.load_model(name)
+        verdict = "allowed" if api.check(fig2, model) else "FORBIDDEN"
         extra = ""
-        if not model.consistent(fig2):
+        if not api.check(fig2, model):
             extra = f"  (violates {', '.join(model.violated_axioms(fig2))})"
         print(f"  {model.name:<10} {verdict}{extra}")
 
@@ -77,7 +77,7 @@ def main() -> None:
         machine = TSOMachine(test.program)
         seen = machine.observable(test.intended_co)
         print(f"  {name}: {'SEEN' if seen else 'never seen'} "
-              f"(model says {'allowed' if get_model('x86tm').consistent(execution) else 'forbidden'})")
+              f"(model says {'allowed' if api.check(execution, 'x86tm') else 'forbidden'})")
 
 
 if __name__ == "__main__":

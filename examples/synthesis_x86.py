@@ -9,14 +9,16 @@ ARMv8 suite catching a TxnOrder bug in a "buggy RTL" oracle.
 Run:  python examples/synthesis_x86.py
 """
 
-from repro.enumeration import synthesise
-from repro.harness import run_figure7, run_rtl_bug, run_table1
+from repro import api
+from repro.harness.figure7 import run_figure7
+from repro.harness.rtl_bug import run_rtl_bug
+from repro.harness.table1 import run_table1
 from repro.litmus import execution_to_litmus, render
 
 
 def main() -> None:
     print("Synthesising the x86 Forbid/Allow suites (|E| <= 3)...")
-    synthesis = synthesise("x86", 3)
+    synthesis = api.synthesize("x86", 3)
     print(
         f"  {len(synthesis.forbidden)} Forbid tests "
         f"(paper's Table 1 count at this bound: 4), "

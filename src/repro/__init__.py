@@ -18,7 +18,9 @@ The package provides:
 * ``repro.metatheory`` -- monotonicity, compilation, and lock-elision
   checking (§8);
 * ``repro.catalog`` -- every execution discussed in the paper;
-* ``repro.harness`` -- drivers regenerating Tables 1-2 and Figure 7.
+* ``repro.harness`` -- drivers regenerating Tables 1-2 and Figure 7;
+* ``repro.api`` -- the stable facade (``load_model`` / ``check`` /
+  ``synthesize`` / ``run_table``) new code should program against.
 """
 
 __version__ = "1.0.0"
@@ -29,7 +31,20 @@ from .models import get_model, model_names
 __all__ = [
     "Execution",
     "ExecutionBuilder",
+    "api",
     "get_model",
     "model_names",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # ``repro.api`` imports lazily so that ``import repro`` stays cheap
+    # (the facade pulls in the harness only when actually used).
+    if name == "api":
+        import importlib
+
+        module = importlib.import_module(".api", __name__)
+        globals()["api"] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

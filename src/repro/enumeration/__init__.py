@@ -13,6 +13,16 @@ from .config import (
     get_config,
 )
 from .minimality import is_minimal_inconsistent, weakenings
+from .sharding import (
+    complete_shard_range,
+    complete_skeleton_range,
+    completion_count,
+    cumulative_counts,
+    shard_completion_counts,
+    shard_signatures,
+    shard_skeletons,
+    signature_label,
+)
 from .shapes import (
     LOC_NAMES,
     Skeleton,
@@ -38,7 +48,11 @@ __all__ = [
     "Skeleton",
     "SynthesisResult",
     "canonical_key",
+    "complete_shard_range",
     "complete_skeleton",
+    "complete_skeleton_range",
+    "completion_count",
+    "cumulative_counts",
     "dedup",
     "enumerate_executions",
     "enumerate_skeletons",
@@ -50,6 +64,10 @@ __all__ = [
     "sample_growth_string",
     "sample_interval_set",
     "sample_partition",
+    "shard_completion_counts",
+    "shard_signatures",
+    "shard_skeletons",
+    "signature_label",
     "synthesise",
     "weakenings",
 ]

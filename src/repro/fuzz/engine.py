@@ -25,11 +25,11 @@ The loop:
 
 from __future__ import annotations
 
-import os
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .._env import env_int
 from ..enumeration.config import get_config
 from ..events import Execution
 from ..harness.pipeline import CheckPipeline
@@ -74,7 +74,7 @@ class FuzzConfig:
     """Everything one reproducible fuzz run depends on."""
 
     arch: str = "x86"
-    seed: int | None = None  # None → REPRO_FUZZ_SEED env (default 0)
+    seed: int | None = None  # None → REPRO_SEED env (default 0)
     budget: int = 100
     max_events: int = 7
     min_events: int = 2
@@ -88,11 +88,15 @@ class FuzzConfig:
     #: input corpus whose executions seed the mutation pool.
     seed_corpus: str | None = None
     sim_event_limit: int = 6
+    #: JSONL checkpoint file for the pipeline (resume support).
+    checkpoint: str | None = None
+    #: cross-run verdict-cache directory.
+    cache: str | None = None
 
     def resolved_seed(self) -> int:
         if self.seed is not None:
             return self.seed
-        return int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+        return env_int("REPRO_SEED", 0)
 
 
 @dataclass
@@ -222,7 +226,12 @@ def run_fuzz(config: FuzzConfig, pipeline: CheckPipeline | None = None) -> FuzzR
             runlog = corpus_path.with_name(
                 corpus_path.stem + ".events.jsonl"
             )
-        pipeline = CheckPipeline(workers=config.workers, runlog=runlog)
+        pipeline = CheckPipeline(
+            workers=config.workers,
+            runlog=runlog,
+            checkpoint=config.checkpoint,
+            cache=config.cache,
+        )
     writer = CorpusWriter(config.corpus) if config.corpus else None
     pipeline.log_event(
         "fuzz.start",

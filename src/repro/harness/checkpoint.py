@@ -88,6 +88,7 @@ class CheckpointStore:
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._results: dict[str, object] = {}
+        self._by_kind: dict[str, list] = {}
         self._file = None
         if self.path.exists():
             self._load()
@@ -104,7 +105,12 @@ class CheckpointStore:
                 # A crash mid-append leaves a truncated last line; the
                 # job it recorded simply re-runs.
                 continue
-            self._results[record["digest"]] = record["result"]
+            digest = record["digest"]
+            if digest not in self._results:
+                self._by_kind.setdefault(record.get("kind", "job"), []).append(
+                    record["result"]
+                )
+            self._results[digest] = record["result"]
 
     def __len__(self) -> int:
         return len(self._results)
@@ -115,8 +121,20 @@ class CheckpointStore:
     def get(self, digest: str):
         return self._results[digest]
 
+    def by_kind(self, kind: str) -> list:
+        """Every recorded result of one ``kind``, in append order.
+
+        This is how self-describing records (the scheduler's completed
+        shard ranges, whose chunk boundaries are timing-dependent and
+        therefore never re-digest identically) are read back *as data*
+        on resume, instead of being matched digest-by-digest.
+        """
+        return list(self._by_kind.get(kind, ()))
+
     def record(self, digest: str, result, kind: str = "job") -> None:
         """Append one completed job's result (flushed immediately)."""
+        if digest not in self._results:
+            self._by_kind.setdefault(kind, []).append(result)
         self._results[digest] = result
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -13,9 +13,12 @@ Usage::
     repro-harness stats results/metrics-table1.json
 
 The long-running drivers (``table1``, ``table2``, ``figure7``,
-``ablation``) and ``fuzz`` take ``--workers`` (multiprocessing
-fan-out), ``--checkpoint`` (JSONL file; a killed run restarted with the
-same path resumes instead of recomputing), ``--stats [PATH]`` (dump the
+``ablation``) and ``fuzz`` share one flag vocabulary (one argparse
+parent each for the pipeline and observability groups): ``--workers``
+(multiprocessing fan-out), ``--checkpoint`` (JSONL file; a killed run
+restarted with the same path resumes instead of recomputing),
+``--cache`` (cross-run verdict-cache directory -- a warm rerun answers
+repeat model verdicts from disk), ``--stats [PATH]`` (dump the
 merged observability metrics as JSON, by default next to ``results/``),
 ``--trace [PATH]`` (Chrome trace-event JSON over the merged span
 forest, loadable in Perfetto, one lane per worker pid), and
@@ -34,7 +37,10 @@ import os
 import sys
 
 
-def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+def _observability_parent() -> argparse.ArgumentParser:
+    """The shared ``--stats/--trace/--profile`` flags, as an argparse
+    *parent* so every long-running subcommand spells them identically."""
+    parser = argparse.ArgumentParser(add_help=False)
     parser.add_argument(
         "--stats",
         nargs="?",
@@ -78,14 +84,17 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
             "observed cost, one <PREFIX>-<model>.dot per profiled model"
         ),
     )
+    return parser
 
 
-def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
+def _pipeline_parent() -> argparse.ArgumentParser:
+    """The shared ``--workers/--checkpoint/--cache`` pipeline flags."""
+    parser = argparse.ArgumentParser(add_help=False)
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker processes (default: REPRO_PIPELINE_WORKERS or 1)",
+        help="worker processes (default: REPRO_WORKERS or 1)",
     )
     parser.add_argument(
         "--checkpoint",
@@ -93,7 +102,16 @@ def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="JSONL checkpoint file; rerun with the same file to resume",
     )
-    _add_observability_flags(parser)
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "cross-run verdict-cache directory (default: REPRO_CACHE); "
+            "a warm rerun answers repeat model verdicts from disk"
+        ),
+    )
+    return parser
 
 
 def _apply_profile(args: argparse.Namespace) -> None:
@@ -202,13 +220,60 @@ def _render_span(span: dict, parent_elapsed: float | None, depth: int, lines: li
         )
 
 
+#: Top-level dump keys with a dedicated rendering section below; any
+#: other key is rendered generically instead of silently dropped.
+_KNOWN_DUMP_KEYS = frozenset(
+    (
+        "hit_rates",
+        "timers",
+        "histograms",
+        "counters",
+        "gauges",
+        "uniques",
+        "spans",
+        "profile",
+    )
+)
+
+
+def _render_shard_summary(counters: dict, timers: dict, lines: list) -> None:
+    """One line per synthesis shard, folded from the
+    ``synthesis.shard.<target>.b<n>.<label>.<field>`` counters."""
+    shards: dict[str, dict] = {}
+    for name, value in counters.items():
+        if not name.startswith("synthesis.shard."):
+            continue
+        base, _, field = name.rpartition(".")
+        shards.setdefault(base, {})[field] = value
+    if not shards:
+        return
+    lines.append("synthesis shards:")
+    for base in sorted(shards):
+        fields = shards[base]
+        timer = timers.get(f"{base}.seconds")
+        seconds = ""
+        if isinstance(timer, dict):
+            try:
+                seconds = f" {float(timer['total']):8.3f}s"
+            except (KeyError, TypeError, ValueError):
+                pass
+        lines.append(
+            f"  {base.removeprefix('synthesis.shard.'):<32} "
+            f"completions={fields.get('completions', 0):<8} "
+            f"survivors={fields.get('survivors', 0):<5} "
+            f"chunks={fields.get('chunks', 0):<4} "
+            f"steals={fields.get('steals', 0):<4}{seconds}"
+        )
+
+
 def _render_stats_dump(dump: dict) -> str:
     """A human-oriented digest of a ``--stats`` JSON dump.
 
     Tolerates malformed records (hand-edited dumps, older versions):
     a timer/histogram entry that is not a dict, or is missing
     ``count``/``total``, is flagged as partial instead of crashing the
-    renderer.
+    renderer.  Unrecognised top-level keys (dumps from newer versions)
+    are rendered generically rather than silently omitted.
     """
     lines = ["cache hit rates:"]
     hit_rates = dump.get("hit_rates", {})
@@ -255,10 +320,21 @@ def _render_stats_dump(dump: dict) -> str:
                 f"p90={p90:.6f}s p99={p99:.6f}s max={maximum:.6f}s"
             )
     counters = dump.get("counters", {})
+    _render_shard_summary(
+        counters if isinstance(counters, dict) else {},
+        timers if isinstance(timers, dict) else {},
+        lines,
+    )
     if counters:
-        lines.append("counters:")
-        for name in sorted(counters):
-            lines.append(f"  {name:<36} {counters[name]}")
+        plain = {
+            name: value
+            for name, value in counters.items()
+            if not name.startswith("synthesis.shard.")
+        }
+        if plain:
+            lines.append("counters:")
+            for name in sorted(plain):
+                lines.append(f"  {name:<36} {plain[name]}")
     gauges = dump.get("gauges", {})
     if gauges:
         lines.append("gauges:")
@@ -286,6 +362,12 @@ def _render_stats_dump(dump: dict) -> str:
                 f"[{n.get('model', '?')}/{n.get('constraint', '?')}] "
                 f"evals={n.get('count', 0)} hits={n.get('hits', 0)}"
             )
+    unknown = sorted(set(dump) - _KNOWN_DUMP_KEYS)
+    for key in unknown:
+        rendered = json.dumps(dump[key], sort_keys=True, default=str)
+        if len(rendered) > 200:
+            rendered = rendered[:200] + "..."
+        lines.append(f"{key}: {rendered}")
     return "\n".join(lines)
 
 
@@ -299,29 +381,34 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    pipeline_parent = _pipeline_parent()
+    obs_parent = _observability_parent()
+    shared = [pipeline_parent, obs_parent]
 
-    p_t1 = sub.add_parser("table1", help="synthesis + hardware validation")
+    p_t1 = sub.add_parser(
+        "table1", help="synthesis + hardware validation", parents=shared
+    )
     p_t1.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
     p_t1.add_argument("--events", type=int, default=4)
     p_t1.add_argument("--time-budget", type=float, default=None)
-    _add_pipeline_flags(p_t1)
 
-    p_t2 = sub.add_parser("table2", help="metatheory summary")
-    _add_pipeline_flags(p_t2)
+    sub.add_parser("table2", help="metatheory summary", parents=shared)
 
-    p_f7 = sub.add_parser("figure7", help="discovery-time distribution")
+    p_f7 = sub.add_parser(
+        "figure7", help="discovery-time distribution", parents=shared
+    )
     p_f7.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
     p_f7.add_argument("--events", type=int, default=4)
     p_f7.add_argument("--time-budget", type=float, default=None)
-    _add_pipeline_flags(p_f7)
 
     sub.add_parser("rtl-bug", help="the §6.2 buggy-RTL detection story")
     sub.add_parser("figures", help="verdicts for every paper figure")
 
-    p_ab = sub.add_parser("ablation", help="per-axiom Forbid attribution")
+    p_ab = sub.add_parser(
+        "ablation", help="per-axiom Forbid attribution", parents=shared
+    )
     p_ab.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
     p_ab.add_argument("--events", type=int, default=3)
-    _add_pipeline_flags(p_ab)
 
     p_ex = sub.add_parser("export", help="write Forbid/Allow suites to disk")
     p_ex.add_argument("--arch", default="x86", choices=("x86", "power", "armv8"))
@@ -329,7 +416,9 @@ def main(argv: list[str] | None = None) -> int:
     p_ex.add_argument("--out", default="suites")
 
     p_fz = sub.add_parser(
-        "fuzz", help="differential conformance fuzzing across verdict paths"
+        "fuzz",
+        help="differential conformance fuzzing across verdict paths",
+        parents=shared,
     )
     p_fz.add_argument(
         "--arch",
@@ -341,7 +430,7 @@ def main(argv: list[str] | None = None) -> int:
         "--seed",
         type=int,
         default=None,
-        help="campaign seed (default: REPRO_FUZZ_SEED or 0)",
+        help="campaign seed (default: REPRO_SEED or 0)",
     )
     p_fz.add_argument(
         "--budget", type=int, default=200, help="number of cases to evaluate"
@@ -379,13 +468,6 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIGEST",
         help="re-evaluate one corpus witness by digest prefix and exit",
     )
-    p_fz.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes (default: REPRO_PIPELINE_WORKERS or 1)",
-    )
-    _add_observability_flags(p_fz)
 
     p_st = sub.add_parser("stats", help="pretty-print a --stats JSON dump")
     p_st.add_argument("path", help="metrics JSON written by --stats")
@@ -393,38 +475,18 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     _apply_profile(args)
 
-    if args.command == "table1":
-        from .table1 import run_table1
+    if args.command in ("table1", "table2", "figure7", "ablation"):
+        from .. import api
 
         print(
-            run_table1(
-                args.arch,
-                args.events,
-                args.time_budget,
+            api.run_table(
+                args.command,
+                arch=getattr(args, "arch", "x86"),
+                bound=getattr(args, "events", None),
                 workers=args.workers,
                 checkpoint=args.checkpoint,
-            ).render()
-        )
-        _write_run_outputs(args)
-    elif args.command == "table2":
-        from .table2 import run_table2
-
-        print(
-            run_table2(
-                workers=args.workers, checkpoint=args.checkpoint
-            ).render()
-        )
-        _write_run_outputs(args)
-    elif args.command == "figure7":
-        from .figure7 import run_figure7
-
-        print(
-            run_figure7(
-                args.arch,
-                args.events,
-                args.time_budget,
-                workers=args.workers,
-                checkpoint=args.checkpoint,
+                cache=args.cache,
+                time_budget=getattr(args, "time_budget", None),
             ).render()
         )
         _write_run_outputs(args)
@@ -436,23 +498,11 @@ def main(argv: list[str] | None = None) -> int:
         from .figures import run_figures
 
         print(run_figures().render())
-    elif args.command == "ablation":
-        from .ablation import run_ablation
-
-        print(
-            run_ablation(
-                args.arch,
-                args.events,
-                workers=args.workers,
-                checkpoint=args.checkpoint,
-            ).render()
-        )
-        _write_run_outputs(args)
     elif args.command == "export":
-        from ..enumeration import synthesise
+        from .. import api
         from .export import export_suite
 
-        synthesis = synthesise(args.arch, args.events)
+        synthesis = api.synthesize(args.arch, args.events)
         manifest = export_suite(synthesis, args.out)
         print(
             f"exported {len(manifest['forbid'])} forbid + "
@@ -493,6 +543,8 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
                 mode=args.mode,
                 seed_corpus=args.seed_corpus,
+                checkpoint=args.checkpoint,
+                cache=args.cache,
             )
         )
         print(report.render())

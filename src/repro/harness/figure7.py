@@ -83,6 +83,7 @@ def run_figure7(
     pipeline: CheckPipeline | None = None,
     workers: int | None = None,
     checkpoint: str | Path | None = None,
+    cache: str | Path | None = None,
 ) -> Figure7Result:
     """Regenerate Figure 7's curve at reproduction scale.
 
@@ -92,7 +93,7 @@ def run_figure7(
     if synthesis is None:
         if pipeline is None:
             with CheckPipeline(
-                workers=workers, checkpoint=checkpoint
+                workers=workers, checkpoint=checkpoint, cache=cache
             ) as pipeline:
                 return run_figure7(
                     arch, max_events, time_budget, synthesis, pipeline

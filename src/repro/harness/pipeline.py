@@ -47,10 +47,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-from ..enumeration import SynthesisResult, synthesise
+from .._env import env_float, env_int
+from ..enumeration import SynthesisResult
 from ..models import get_model
 from ..models.base import MemoryModel
 from ..obs import PROFILER, REGISTRY, TRACER, RunLog, reset_observability
+from . import verdict_cache as _verdict_cache
 from .checkpoint import CheckpointStore, job_digest
 
 #: Seconds between ``run.heartbeat`` events while a batch drains.
@@ -107,23 +109,60 @@ def model_for(name: str, drop_axioms: tuple[str, ...] = ()) -> MemoryModel:
 # ---------------------------------------------------------------------------
 
 
+#: (model name, dropped axioms) → stable model digest (or None when the
+#: model cannot be digested and the verdict cache must be bypassed).
+_MODEL_DIGEST_CACHE: dict[tuple[str, tuple[str, ...]], str | None] = {}
+
+
+def _model_digest_for(name: str, drop_axioms: tuple[str, ...]) -> str | None:
+    key = (name, drop_axioms)
+    if key not in _MODEL_DIGEST_CACHE:
+        from ..ir import model_digest
+
+        _MODEL_DIGEST_CACHE[key] = model_digest(model_for(name, drop_axioms))
+    return _MODEL_DIGEST_CACHE[key]
+
+
+def _cached_verdict(kind: str, name: str, drop: tuple, execution):
+    """A model verdict, answered from the active verdict cache when the
+    model has a stable digest; computed (and recorded) otherwise."""
+    model = model_for(name, drop)
+    compute = (
+        model.consistent if kind == "consistent" else model.violated_axioms
+    )
+    cache = _verdict_cache.active()
+    if cache is None:
+        return compute(execution)
+    model_dig = _model_digest_for(name, drop)
+    if model_dig is None:
+        return compute(execution)
+    exec_dig = _verdict_cache.execution_digest(execution)
+    hit, verdict = cache.lookup(model_dig, exec_dig, kind)
+    if hit:
+        return bool(verdict) if kind == "consistent" else list(verdict)
+    verdict = compute(execution)
+    cache.record(model_dig, exec_dig, kind, verdict)
+    return verdict
+
+
 def run_job(job: tuple):
     """Evaluate one job tuple; the first element selects the kind.
 
     * ``("observable", arch, program, intended_co)`` → bool
     * ``("consistent", model_name, drop_axioms, execution)`` → bool
     * ``("violated", model_name, drop_axioms, execution)`` → list[str]
+
+    Model verdicts (``consistent``/``violated``) go through the
+    process-active verdict cache when one is configured; hardware
+    observability runs the operational machines and is never cached.
     """
     kind = job[0]
     if kind == "observable":
         _, arch, program, intended_co = job
         return hardware_for(arch).observable(program, intended_co)
-    if kind == "consistent":
+    if kind in ("consistent", "violated"):
         _, name, drop, execution = job
-        return model_for(name, drop).consistent(execution)
-    if kind == "violated":
-        _, name, drop, execution = job
-        return model_for(name, drop).violated_axioms(execution)
+        return _cached_verdict(kind, name, drop, execution)
     raise ValueError(f"unknown job kind {kind!r}")
 
 
@@ -206,11 +245,13 @@ class _PoolTask:
         self.policy = policy
 
     def _delta(self) -> dict:
+        cache = _verdict_cache.active()
         return {
             "pid": os.getpid(),
             "metrics": REGISTRY.flush_delta(),
             "spans": TRACER.flush_roots(),
             "profile": PROFILER.flush_delta(),
+            "verdicts": cache.flush_pending() if cache is not None else (),
         }
 
     def __call__(self, packed):
@@ -222,15 +263,19 @@ class _PoolTask:
             return None, self._delta(), error
 
 
-def _merge_worker_delta(delta: dict) -> None:
+def _merge_worker_delta(delta: dict, cache=None) -> None:
     """Fold one worker payload into the parent's registry, tracer (spans
-    grafted under the open ``pipeline.batch`` span, tagged by pid) and
-    profiler."""
+    grafted under the open ``pipeline.batch`` span, tagged by pid),
+    profiler, and -- when the pipeline owns a verdict ``cache`` -- the
+    cache (the worker's freshly computed verdicts get persisted)."""
     REGISTRY.merge(delta["metrics"])
     spans = delta.get("spans")
     if spans:
         TRACER.graft(spans, tags={"pid": delta["pid"]})
     PROFILER.merge(delta.get("profile"))
+    verdicts = delta.get("verdicts")
+    if cache is not None and verdicts:
+        cache.absorb(verdicts)
 
 
 def _pool_worker_init() -> None:
@@ -240,29 +285,38 @@ def _pool_worker_init() -> None:
     and profiler samples; without a reset its first flush would
     re-report everything the parent had already accumulated.  (The
     profiler's *enabled* flag survives the reset via the
-    ``REPRO_PROFILE`` environment variable, which ``--profile`` sets.)
+    ``REPRO_PROFILE`` environment variable, which ``--profile`` sets;
+    the verdict cache likewise reopens read-only from ``REPRO_CACHE``.)
     """
     reset_observability()
+    _verdict_cache.worker_init()
 
 
 class CheckPipeline:
     """Evaluates batches of checking jobs through shared caches.
 
     Args:
-        workers: fan-out width.  ``None`` reads ``REPRO_PIPELINE_WORKERS``
-            (defaulting to sequential); ``0``/``1`` force sequential
+        workers: fan-out width.  ``None`` reads ``REPRO_WORKERS``
+            (defaulting to sequential; the legacy
+            ``REPRO_PIPELINE_WORKERS`` spelling still works, with a
+            deprecation warning); ``0``/``1`` force sequential
             evaluation; larger values use a ``multiprocessing`` pool.
         checkpoint: optional path to a JSONL checkpoint file.  Completed
             jobs append one record each; a restarted pipeline pointed at
             the same file skips them (see :mod:`repro.harness.checkpoint`).
         retries / retry_backoff / soft_timeout: per-job
             :class:`JobPolicy` knobs.  ``None`` reads the
-            ``REPRO_PIPELINE_RETRIES`` / ``REPRO_PIPELINE_BACKOFF`` /
-            ``REPRO_PIPELINE_SOFT_TIMEOUT`` environment variables.
+            ``REPRO_RETRIES`` / ``REPRO_BACKOFF`` /
+            ``REPRO_SOFT_TIMEOUT`` environment variables.
         runlog: optional path for the JSONL run-event log.  ``None``
             derives ``<checkpoint stem>.events.jsonl`` next to the
             checkpoint file when one is configured (no checkpoint, no
             log); ``False`` disables the log explicitly.
+        cache: optional directory for the cross-run verdict cache
+            (:mod:`repro.harness.verdict_cache`).  ``None`` reads
+            ``REPRO_CACHE``.  The parent opens it as the single writer
+            and exports ``REPRO_CACHE`` so pool workers reopen it
+            read-only after fork/spawn.
     """
 
     def __init__(
@@ -273,25 +327,35 @@ class CheckPipeline:
         retry_backoff: float | None = None,
         soft_timeout: float | None = None,
         runlog: str | Path | None | bool = None,
+        cache: str | Path | None = None,
     ):
         if workers is None:
-            workers = int(os.environ.get("REPRO_PIPELINE_WORKERS", "1"))
+            workers = env_int("REPRO_WORKERS", 1)
         self.workers = max(1, workers)
         if retries is None:
-            retries = int(os.environ.get("REPRO_PIPELINE_RETRIES", "0"))
+            retries = env_int("REPRO_RETRIES", 0)
         if retry_backoff is None:
-            retry_backoff = float(
-                os.environ.get("REPRO_PIPELINE_BACKOFF", "0.05")
-            )
+            retry_backoff = env_float("REPRO_BACKOFF", 0.05)
         if soft_timeout is None:
-            raw = os.environ.get("REPRO_PIPELINE_SOFT_TIMEOUT")
-            soft_timeout = float(raw) if raw else None
+            soft_timeout = env_float("REPRO_SOFT_TIMEOUT", None)
         self.policy = JobPolicy(
             retries=retries, backoff=retry_backoff, soft_timeout=soft_timeout
         )
         self.checkpoint = (
             CheckpointStore(checkpoint) if checkpoint is not None else None
         )
+        if cache is None:
+            from .._env import env_str
+
+            cache = env_str("REPRO_CACHE")
+        self._cache_env_set = False
+        if cache is not None:
+            self.verdict_cache = _verdict_cache.configure(cache, writer=True)
+            if os.environ.get("REPRO_CACHE") != str(cache):
+                os.environ["REPRO_CACHE"] = str(cache)
+                self._cache_env_set = True
+        else:
+            self.verdict_cache = None
         if runlog is None and checkpoint is not None:
             path = Path(checkpoint)
             runlog = path.with_name(path.stem + ".events.jsonl")
@@ -307,6 +371,7 @@ class CheckPipeline:
             retries=self.policy.retries,
             soft_timeout=self.policy.soft_timeout,
             checkpoint=str(checkpoint) if checkpoint is not None else None,
+            cache=str(cache) if cache is not None else None,
             profile=PROFILER.enabled,
         )
 
@@ -352,6 +417,15 @@ class CheckPipeline:
             self._pool = None
         if self.checkpoint is not None:
             self.checkpoint.close()
+        if self.verdict_cache is not None:
+            if _verdict_cache.active() is self.verdict_cache:
+                _verdict_cache.deactivate()
+            else:
+                self.verdict_cache.close()
+            self.verdict_cache = None
+            if self._cache_env_set:
+                os.environ.pop("REPRO_CACHE", None)
+                self._cache_env_set = False
         if self.runlog is not None:
             self.log_event("run.end", jobs=self._jobs_done)
             self.runlog.close()
@@ -377,11 +451,20 @@ class CheckPipeline:
         max_events: int,
         time_budget: float | None = None,
     ) -> SynthesisResult:
-        """``synthesise(arch, max_events)``, computed once per pipeline."""
+        """Sharded synthesis for ``arch``, computed once per pipeline.
+
+        Runs through the work-stealing scheduler
+        (:func:`repro.harness.scheduler.synthesise_sharded`): the
+        enumeration fans out across this pipeline's workers and reuses
+        its checkpoint and verdict cache, with results byte-identical
+        to the sequential :func:`repro.enumeration.synthesise`.
+        """
         key = (arch, max_events, time_budget)
         if key not in self._synthesis_cache:
-            self._synthesis_cache[key] = synthesise(
-                arch, max_events, time_budget=time_budget
+            from .scheduler import synthesise_sharded
+
+            self._synthesis_cache[key] = synthesise_sharded(
+                arch, max_events, time_budget=time_budget, pipeline=self
             )
         return self._synthesis_cache[key]
 
@@ -480,25 +563,14 @@ class CheckPipeline:
         delta merged immediately.  A job error is re-raised in the
         parent *after* the merge, with every earlier result recorded.
         """
-        if self._pool is None:
-            import multiprocessing
-
-            # Jobs reference hardware/models by name, so both start
-            # methods are safe; prefer fork for lower start-up cost.
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else "spawn"
-            )
-            self._pool = context.Pool(
-                self.workers, initializer=_pool_worker_init
-            )
+        self._ensure_pool()
         submitted = time.monotonic()
         task = _PoolTask(fn, self.policy)
         results = []
         for index, (result, delta, error) in enumerate(
             self._pool.imap(task, [(submitted, item) for item in items])
         ):
-            _merge_worker_delta(delta)
+            _merge_worker_delta(delta, cache=self.verdict_cache)
             if error is not None:
                 raise error
             if on_result is not None:
@@ -506,6 +578,49 @@ class CheckPipeline:
             results.append(result)
             self._heartbeat(index + 1, len(items), submitted)
         return results
+
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        import multiprocessing
+
+        # Jobs reference hardware/models by name, so both start
+        # methods are safe; prefer fork for lower start-up cost.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._pool = context.Pool(self.workers, initializer=_pool_worker_init)
+
+    def submit(self, fn: Callable, item, callback: Callable) -> None:
+        """Asynchronously evaluate one job (the scheduler's dispatch).
+
+        ``callback`` receives the packed ``(result, delta, error)``
+        triple -- ``delta`` is ``None`` on the sequential path, a
+        worker delta otherwise.  On a pool pipeline the callback fires
+        on the pool's result-handler thread, so it must only hand the
+        triple off (the scheduler queues it back to its own thread);
+        sequential pipelines invoke it inline, before returning.
+        Job errors are *delivered*, not raised: the caller decides
+        where to re-raise.
+        """
+        if self.workers <= 1:
+            try:
+                result = _invoke_with_policy(
+                    fn, item, time.monotonic(), self.policy
+                )
+                callback((result, None, None))
+            except Exception as error:
+                callback((None, None, error))
+            return
+        self._ensure_pool()
+        task = _PoolTask(fn, self.policy)
+        self._pool.apply_async(
+            task,
+            ((time.monotonic(), item),),
+            callback=callback,
+            error_callback=lambda error: callback((None, None, error)),
+        )
 
     def map_checkpointed(
         self,

@@ -1,0 +1,566 @@
+"""Work-stealing sharded synthesis on top of :class:`CheckPipeline`.
+
+:func:`synthesise_sharded` reproduces
+:func:`repro.enumeration.synthesise` exactly -- same Forbid/Allow
+suites, same order, same ``enumeration.*`` counters -- but evaluates
+the candidate space in parallel work units.  The space is split by
+canonical skeleton signature (:mod:`repro.enumeration.sharding`); each
+shard's completion range is dispatched in chunks; idle workers steal
+half of the largest remaining range.  Three properties carry the
+design:
+
+* **Determinism.**  Chunk *boundaries* are timing-dependent (stealing
+  reacts to load), but chunk *contents* are pure index ranges, and the
+  fold sorts payloads by ``(shard index, range start)`` before folding
+  -- so the folded result is byte-identical at any ``--workers`` count,
+  and identical to the sequential enumerator's output.
+* **Self-description.**  A work unit is the tuple ``("synth_chunk",
+  target, bound, signature, start, stop)`` and its payload repeats
+  those coordinates, so a checkpoint can replay completed ranges as
+  plain data on resume (:meth:`CheckpointStore.by_kind`) even though a
+  resumed run's chunk boundaries never re-digest identically.
+* **Global filtering stays in the parent.**  Workers apply the
+  *per-candidate* filters (model-inconsistent, baseline-consistent,
+  minimal) -- answering repeat verdicts from the verdict cache when one
+  is active -- and ship survivors; the order-dependent steps (canonical
+  dedup, discovery order, the Allow weakening pass) run in the fold,
+  where the global ``seen`` set lives.
+
+Scheduling counters: ``scheduler.chunks`` / ``scheduler.steals``
+(steals are zero at ``--workers 1`` by construction: a slot always
+prefers its own shard's remainder), plus per-shard
+``synthesis.shard.<target>.b<n>.<label>.{completions,survivors,chunks,
+steals}`` counters and a ``.seconds`` timer feeding the ``--stats``
+per-shard summary.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from functools import partial
+from typing import TYPE_CHECKING
+
+from ..enumeration.canonical import canonical_key
+from ..enumeration.config import EnumerationConfig, get_config
+from ..enumeration.minimality import is_minimal_inconsistent, weakenings
+from ..enumeration.sharding import (
+    Signature,
+    complete_shard_range,
+    cumulative_counts,
+    shard_completion_counts,
+    shard_signatures,
+    shard_skeletons,
+    signature_label,
+)
+from ..enumeration.synthesis import SynthesisResult
+from ..ir import model_digest
+from ..models import get_model
+from ..obs import REGISTRY, TRACER
+from . import verdict_cache
+from .checkpoint import job_digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pipeline import CheckPipeline
+
+#: Smallest range a dispatch or a steal will carve off.  Below this the
+#: per-chunk overhead (pickling survivors, merging deltas) outweighs
+#: the parallelism; a remainder smaller than ``2 *`` this is not worth
+#: splitting.
+MIN_CHUNK = 64
+
+
+# ---------------------------------------------------------------------------
+# Worker side: evaluating one shard job (module-level for pickling)
+# ---------------------------------------------------------------------------
+
+#: (target, bound, signature) → (skeletons, cumulative completion counts),
+#: built once per worker process per shard it touches.
+_SPACE_CACHE: dict[tuple, tuple[list, list[int]]] = {}
+
+#: target → (config, model, baseline, model digest, baseline digest).
+_TARGET_CACHE: dict[str, tuple] = {}
+
+
+def _target_context(target: str):
+    context = _TARGET_CACHE.get(target)
+    if context is None:
+        config = get_config(target)
+        model = get_model(config.model_name)
+        baseline = model.baseline()
+        context = (
+            config,
+            model,
+            baseline,
+            model_digest(model),
+            model_digest(baseline),
+        )
+        _TARGET_CACHE[target] = context
+    return context
+
+
+def _shard_space(target: str, bound: int, signature: Signature):
+    key = (target, bound, signature)
+    space = _SPACE_CACHE.get(key)
+    if space is None:
+        config = _target_context(target)[0]
+        skeletons = shard_skeletons(config, signature)
+        cumulative = cumulative_counts(
+            shard_completion_counts(config, signature)
+        )
+        space = (skeletons, cumulative)
+        _SPACE_CACHE[key] = space
+    return space
+
+
+def _cached_consistent(model, digest: str | None):
+    """``model.consistent`` routed through the active verdict cache.
+
+    Falls back to the bare method when no cache is active or the model
+    has no stable digest (never serve a verdict we cannot key safely).
+    """
+    cache = verdict_cache.active()
+    if cache is None or digest is None:
+        return model.consistent
+
+    def consistent(execution) -> bool:
+        exec_digest = verdict_cache.execution_digest(execution)
+        hit, verdict = cache.lookup(digest, exec_digest, "consistent")
+        if hit:
+            return bool(verdict)
+        verdict = model.consistent(execution)
+        cache.record(digest, exec_digest, "consistent", verdict)
+        return verdict
+
+    return consistent
+
+
+def run_shard_job(job: tuple):
+    """Evaluate one shard work unit (runs in pool workers or inline).
+
+    * ``("synth_count", target, bound, sig)`` → skeleton/completion
+      counts for one shard;
+    * ``("synth_chunk", target, bound, sig, start, stop)`` → the chunk
+      payload: per-outcome counters plus the surviving (forbidden-
+      candidate) executions as JSON, echoing its own coordinates so the
+      parent can fold and checkpoint it as self-contained data.
+    """
+    kind = job[0]
+    if kind == "synth_count":
+        _, target, bound, signature = job
+        signature = tuple(signature)
+        skeletons, cumulative = _shard_space(target, bound, signature)
+        return {
+            "skeletons": len(skeletons),
+            "completions": cumulative[-1] if cumulative else 0,
+        }
+    if kind != "synth_chunk":
+        raise ValueError(f"unknown shard job kind {kind!r}")
+    _, target, bound, signature, start, stop = job
+    signature = tuple(signature)
+    config, model, baseline, model_dig, baseline_dig = _target_context(target)
+    skeletons, cumulative = _shard_space(target, bound, signature)
+    model_consistent = _cached_consistent(model, model_dig)
+    baseline_consistent = _cached_consistent(baseline, baseline_dig)
+
+    from ..fuzz.corpus import execution_to_json
+
+    counters = {
+        "candidates": 0,
+        "pruned_consistent": 0,
+        "pruned_baseline": 0,
+        "pruned_nonminimal": 0,
+    }
+    survivors: list[dict] = []
+    began = time.monotonic()
+    label = signature_label(signature)
+    with TRACER.span(
+        f"shard:{target}:b{bound}:{label}", start=start, stop=stop
+    ):
+        for x in complete_shard_range(skeletons, cumulative, start, stop):
+            counters["candidates"] += 1
+            if model_consistent(x):
+                counters["pruned_consistent"] += 1
+                continue
+            if not baseline_consistent(x):
+                counters["pruned_baseline"] += 1
+                continue  # not a transactional relaxation
+            if not is_minimal_inconsistent(
+                x,
+                model,
+                config,
+                known_inconsistent=True,
+                consistent=model_consistent,
+            ):
+                counters["pruned_nonminimal"] += 1
+                continue
+            survivors.append(execution_to_json(x))
+    return {
+        "target": target,
+        "bound": bound,
+        "sig": list(signature),
+        "start": start,
+        "stop": stop,
+        "counters": counters,
+        "survivors": survivors,
+        "seconds": time.monotonic() - began,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parent side: the work-stealing dispatch loop
+# ---------------------------------------------------------------------------
+
+
+class _Interval:
+    """One undispatched completion range of one shard, owned by the
+    slot currently working that shard (or by nobody)."""
+
+    __slots__ = ("shard", "start", "stop", "owner")
+
+    def __init__(self, shard: int, start: int, stop: int, owner=None):
+        self.shard = shard
+        self.start = start
+        self.stop = stop
+        self.owner = owner
+
+    def __len__(self) -> int:
+        return max(0, self.stop - self.start)
+
+
+class WorkStealingScheduler:
+    """Drains one event bound's shard ranges through the pipeline.
+
+    Slot-affinity dispatch: a freed slot first continues its own
+    interval (front chunk, binary halving down to :data:`MIN_CHUNK`),
+    then claims an unowned interval in shard order, and only then
+    *steals* -- splitting the largest interval owned by a busy slot and
+    taking the back half.  Stealing therefore never happens at
+    ``workers=1``, and the per-chunk payload fold is independent of who
+    evaluated what.
+    """
+
+    def __init__(
+        self,
+        pipeline: "CheckPipeline",
+        target: str,
+        bound: int,
+        signatures: list[Signature],
+        remaining: dict[int, list[tuple[int, int]]],
+        deadline: float | None,
+    ):
+        self.pipeline = pipeline
+        self.target = target
+        self.bound = bound
+        self.signatures = signatures
+        self.deadline = deadline
+        self.intervals: list[_Interval] = [
+            _Interval(shard, start, stop)
+            for shard in sorted(remaining)
+            for start, stop in remaining[shard]
+            if stop > start
+        ]
+        self.payloads: list[dict] = []
+        self.timed_out = False
+        self._chunks = REGISTRY.counter("scheduler.chunks")
+        self._steals = REGISTRY.counter("scheduler.steals")
+
+    def _shard_counter(self, shard: int, field: str):
+        label = signature_label(self.signatures[shard])
+        return REGISTRY.counter(
+            f"synthesis.shard.{self.target}.b{self.bound}.{label}.{field}"
+        )
+
+    def _next_chunk(self, slot) -> tuple | None:
+        """Pick the next range for a freed slot (None: nothing left)."""
+        interval = self._own_interval(slot) or self._unowned_interval(slot)
+        if interval is None:
+            interval = self._steal(slot)
+        if interval is None:
+            return None
+        size = max(MIN_CHUNK, len(interval) // 2)
+        start = interval.start
+        stop = min(interval.stop, start + size)
+        interval.start = stop
+        if not len(interval):
+            self.intervals.remove(interval)
+        self._chunks.inc()
+        self._shard_counter(interval.shard, "chunks").inc()
+        sig = self.signatures[interval.shard]
+        return ("synth_chunk", self.target, self.bound, sig, start, stop)
+
+    def _own_interval(self, slot) -> _Interval | None:
+        for interval in self.intervals:
+            if interval.owner == slot and len(interval):
+                return interval
+        return None
+
+    def _unowned_interval(self, slot) -> _Interval | None:
+        for interval in self.intervals:
+            if interval.owner is None and len(interval):
+                interval.owner = slot
+                return interval
+        return None
+
+    def _steal(self, slot) -> _Interval | None:
+        victim = max(self.intervals, key=len, default=None)
+        if victim is None or len(victim) < 2 * MIN_CHUNK:
+            return None
+        mid = victim.start + len(victim) // 2
+        stolen = _Interval(victim.shard, mid, victim.stop, owner=slot)
+        victim.stop = mid
+        self.intervals.append(stolen)
+        self._steals.inc()
+        self._shard_counter(victim.shard, "steals").inc()
+        return stolen
+
+    def _record(self, job: tuple, payload: dict) -> None:
+        store = self.pipeline.checkpoint
+        if store is not None:
+            store.record(job_digest(job), payload, kind="synth_chunk")
+
+    def run(self) -> list[dict]:
+        """Drain every interval; returns the chunk payloads (unsorted)."""
+        from .pipeline import _merge_worker_delta
+
+        results: queue.Queue = queue.Queue()
+        inflight: dict[object, tuple] = {}
+        idle = list(range(self.pipeline.workers))
+        while True:
+            if self.deadline is not None and time.monotonic() > self.deadline:
+                self.timed_out = True
+            if not self.timed_out:
+                for slot in list(idle):
+                    job = self._next_chunk(slot)
+                    if job is None:
+                        # This slot found nothing to run *or steal*, but a
+                        # later idle slot may still own an unfinished
+                        # interval too small to steal -- keep trying them.
+                        continue
+                    idle.remove(slot)
+                    inflight[slot] = job
+                    self.pipeline.submit(
+                        run_shard_job, job, partial(_deliver, results, slot)
+                    )
+            if not inflight:
+                break
+            slot, (payload, delta, error) = _take(results)
+            job = inflight.pop(slot)
+            idle.append(slot)
+            if delta is not None:
+                _merge_worker_delta(
+                    delta, cache=self.pipeline.verdict_cache
+                )
+            if error is not None:
+                raise error
+            self._record(job, payload)
+            self._fold_chunk_metrics(payload)
+            self.payloads.append(payload)
+        return self.payloads
+
+    def _fold_chunk_metrics(self, payload: dict) -> None:
+        sig = tuple(payload["sig"])
+        label = signature_label(sig)
+        base = f"synthesis.shard.{self.target}.b{self.bound}.{label}"
+        REGISTRY.counter(f"{base}.completions").inc(
+            payload["counters"]["candidates"]
+        )
+        REGISTRY.counter(f"{base}.survivors").inc(len(payload["survivors"]))
+        REGISTRY.timer(f"{base}.seconds").observe(payload.get("seconds", 0.0))
+
+
+def _deliver(results: queue.Queue, slot, packed) -> None:
+    """The submit callback: hand the packed triple to the scheduler's
+    thread (runs on the pool's result-handler thread)."""
+    results.put((slot, packed))
+
+
+def _take(results: queue.Queue):
+    """One completed (slot, packed-result) pair.
+
+    Sequential pipelines invoke the callback inline, so the queue is
+    never empty when this is reached; pool pipelines block here until a
+    worker finishes.
+    """
+    return results.get()
+
+
+# ---------------------------------------------------------------------------
+# The sharded synthesis driver (what CheckPipeline.synthesis calls)
+# ---------------------------------------------------------------------------
+
+
+def _recorded_ranges(
+    pipeline: "CheckPipeline",
+    target: str,
+    bound: int,
+    signatures: list[Signature],
+) -> tuple[list[dict], dict[int, list[tuple[int, int]]]]:
+    """Previously checkpointed chunk payloads for this bound, plus the
+    completion ranges they cover, per shard index."""
+    payloads: list[dict] = []
+    covered: dict[int, list[tuple[int, int]]] = {}
+    store = pipeline.checkpoint
+    if store is None:
+        return payloads, covered
+    index_of = {sig: i for i, sig in enumerate(signatures)}
+    for payload in store.by_kind("synth_chunk"):
+        if not isinstance(payload, dict):
+            continue
+        if payload.get("target") != target or payload.get("bound") != bound:
+            continue
+        shard = index_of.get(tuple(payload.get("sig", ())))
+        if shard is None:
+            continue
+        payloads.append(payload)
+        covered.setdefault(shard, []).append(
+            (payload["start"], payload["stop"])
+        )
+    return payloads, covered
+
+
+def _gaps(
+    total: int, covered: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """The sub-ranges of ``[0, total)`` not covered by ``covered``."""
+    out: list[tuple[int, int]] = []
+    position = 0
+    for start, stop in sorted(covered):
+        if start > position:
+            out.append((position, min(start, total)))
+        position = max(position, stop)
+    if position < total:
+        out.append((position, total))
+    return out
+
+
+def synthesise_sharded(
+    target: str,
+    max_events: int,
+    time_budget: float | None = None,
+    pipeline: "CheckPipeline | None" = None,
+) -> SynthesisResult:
+    """Sharded, work-stealing :func:`repro.enumeration.synthesise`.
+
+    Byte-identical to the sequential enumerator at any worker count
+    (pinned by ``tests/test_sharding.py``); only wall-clock and the
+    ``scheduler.*`` counters vary.  Model/config overrides are not
+    supported here -- experiments that inject custom models (the RTL
+    bug hunt) keep using the sequential path.
+    """
+    if pipeline is None:
+        from .pipeline import CheckPipeline
+
+        with CheckPipeline() as own:
+            return synthesise_sharded(target, max_events, time_budget, own)
+
+    config = get_config(target)
+    result = SynthesisResult(target=target, max_events=max_events)
+    started = time.monotonic()
+    deadline = None if time_budget is None else started + time_budget
+    seen_forbidden: set[tuple] = set()
+
+    with TRACER.span(f"synthesis:{target}"):
+        for bound in range(2, max_events + 1):
+            if deadline is not None and time.monotonic() > deadline:
+                result.complete = False
+                break
+            _sharded_bound(
+                result,
+                pipeline,
+                target,
+                bound,
+                config,
+                seen_forbidden,
+                started,
+                deadline,
+            )
+            if not result.complete:
+                break
+
+        # Allow = one-step weakenings of the Forbid tests, deduplicated
+        # (identical to the sequential enumerator's pass).
+        with TRACER.span(f"synthesis:{target}:weakenings"):
+            seen_allowed: set[tuple] = set()
+            for x in result.forbidden:
+                for child in weakenings(x, config):
+                    if len(child) == 0:
+                        continue
+                    key = canonical_key(child)
+                    if key in seen_allowed or key in seen_forbidden:
+                        continue
+                    seen_allowed.add(key)
+                    result.allowed.append(child)
+
+    result.elapsed = time.monotonic() - started
+    return result
+
+
+def _sharded_bound(
+    result: SynthesisResult,
+    pipeline: "CheckPipeline",
+    target: str,
+    bound: int,
+    config: EnumerationConfig,
+    seen_forbidden: set[tuple],
+    started: float,
+    deadline: float | None,
+) -> None:
+    """One event bound: count shards, drain ranges, fold in order."""
+    from ..fuzz.corpus import execution_from_json
+
+    prefix = f"enumeration.{target}.bound{bound}"
+    signatures = list(shard_signatures(config, bound))
+    with TRACER.span(f"synthesis:{target}:bound{bound}"), REGISTRY.timed(
+        f"{prefix}.seconds"
+    ):
+        counts = pipeline.map_checkpointed(
+            run_shard_job,
+            [("synth_count", target, bound, sig) for sig in signatures],
+            kind="synth_count",
+        )
+        REGISTRY.counter(f"{prefix}.skeletons").inc(
+            sum(count["skeletons"] for count in counts)
+        )
+        resumed, covered = _recorded_ranges(
+            pipeline, target, bound, signatures
+        )
+        remaining = {
+            shard: _gaps(counts[shard]["completions"], covered.get(shard, []))
+            for shard in range(len(signatures))
+        }
+        scheduler = WorkStealingScheduler(
+            pipeline, target, bound, signatures, remaining, deadline
+        )
+        fresh = scheduler.run()
+        if scheduler.timed_out:
+            result.complete = False
+
+        index_of = {sig: i for i, sig in enumerate(signatures)}
+        ordered = sorted(
+            resumed + fresh,
+            key=lambda p: (index_of[tuple(p["sig"])], p["start"]),
+        )
+        c_candidates = REGISTRY.counter(f"{prefix}.candidates")
+        c_consistent = REGISTRY.counter(f"{prefix}.pruned_consistent")
+        c_baseline = REGISTRY.counter(f"{prefix}.pruned_baseline")
+        c_nonminimal = REGISTRY.counter(f"{prefix}.pruned_nonminimal")
+        c_duplicate = REGISTRY.counter(f"{prefix}.pruned_duplicate")
+        c_forbidden = REGISTRY.counter(f"{prefix}.forbidden")
+        for payload in ordered:
+            counters = payload["counters"]
+            result.candidates_examined += counters["candidates"]
+            c_candidates.inc(counters["candidates"])
+            c_consistent.inc(counters["pruned_consistent"])
+            c_baseline.inc(counters["pruned_baseline"])
+            c_nonminimal.inc(counters["pruned_nonminimal"])
+            for encoded in payload["survivors"]:
+                x = execution_from_json(encoded)
+                key = canonical_key(x)
+                if key in seen_forbidden:
+                    c_duplicate.inc()
+                    continue
+                seen_forbidden.add(key)
+                c_forbidden.inc()
+                result.forbidden.append(x)
+                result.discovery_times.append(time.monotonic() - started)

@@ -101,6 +101,7 @@ def run_table1(
     pipeline: CheckPipeline | None = None,
     workers: int | None = None,
     checkpoint: str | Path | None = None,
+    cache: str | Path | None = None,
 ) -> Table1Result:
     """Regenerate Table 1 for one architecture.
 
@@ -108,10 +109,13 @@ def run_table1(
     synthesis cache, optional multiprocessing fan-out); verdicts are
     identical to the sequential path by construction.  A privately
     constructed pipeline is closed (worker pool drained) before return;
-    with ``checkpoint``, a killed run restarts from the recorded jobs.
+    with ``checkpoint``, a killed run restarts from the recorded jobs,
+    and ``cache`` names a cross-run verdict-cache directory.
     """
     if pipeline is None:
-        with CheckPipeline(workers=workers, checkpoint=checkpoint) as pipeline:
+        with CheckPipeline(
+            workers=workers, checkpoint=checkpoint, cache=cache
+        ) as pipeline:
             return run_table1(
                 arch, max_events, time_budget, synthesis, pipeline
             )

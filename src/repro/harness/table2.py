@@ -120,6 +120,7 @@ def run_table2(
     pipeline: CheckPipeline | None = None,
     workers: int | None = None,
     checkpoint: str | Path | None = None,
+    cache: str | Path | None = None,
 ) -> Table2Result:
     """Regenerate Table 2 (with reproduction-scale bounds).
 
@@ -131,7 +132,9 @@ def run_table2(
     a restarted run replays them from disk instead of re-checking.
     """
     if pipeline is None:
-        with CheckPipeline(workers=workers, checkpoint=checkpoint) as pipeline:
+        with CheckPipeline(
+            workers=workers, checkpoint=checkpoint, cache=cache
+        ) as pipeline:
             return run_table2(
                 monotonicity_bounds, compilation_bound, time_budget, pipeline
             )

@@ -8,6 +8,7 @@ Python model classes (:mod:`repro.models`) and parsed ``.cat`` files
 one set of obs counters serve all models.  See ``docs/ir.md``.
 """
 
+from .digest import model_digest, plan_digest, term_digest
 from .executor import (
     axiom_thunks,
     consistent,
@@ -73,7 +74,9 @@ __all__ = [
     "inter",
     "inv",
     "irreflexive",
+    "model_digest",
     "opt",
+    "plan_digest",
     "plus",
     "range_",
     "rel",
@@ -81,6 +84,7 @@ __all__ = [
     "setrel",
     "star",
     "stronglift",
+    "term_digest",
     "union",
     "var",
     "violated_axioms",

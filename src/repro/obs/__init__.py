@@ -70,6 +70,7 @@ def stats_snapshot() -> dict:
         "relations.closure_cache",
         "cat.compile_cache",
         "pipeline.checkpoint",
+        "verdict_cache",
     )
     hit_rates = {}
     for prefix in cache_prefixes:

@@ -40,7 +40,6 @@ human consumption either way.
 
 from __future__ import annotations
 
-import os
 import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
@@ -82,9 +81,9 @@ def _cardinality(value) -> int:
 
 
 def _env_enabled() -> bool:
-    return bool(
-        os.environ.get("REPRO_PROFILE") or os.environ.get("REPRO_IR_PROFILE")
-    )
+    from .._env import env_str
+
+    return bool(env_str("REPRO_PROFILE"))
 
 
 class PlanProfiler:

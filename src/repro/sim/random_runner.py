@@ -11,7 +11,6 @@ observation of a Forbid test (§4.2's discussion).
 
 from __future__ import annotations
 
-import os
 import random
 from dataclasses import dataclass, field
 
@@ -43,8 +42,9 @@ class RandomisedRunner:
     instance, never the module-global ``random`` state: either pass a
     ready-made ``rng`` (the fuzzer threads its own generator through),
     or a ``seed``.  When neither is given the seed comes from the
-    ``REPRO_FUZZ_SEED`` environment variable (default 0), so CI runs
-    are reproducible end to end.
+    ``REPRO_SEED`` environment variable (default 0; the legacy
+    ``REPRO_FUZZ_SEED`` spelling still works), so CI runs are
+    reproducible end to end.
     """
 
     def __init__(
@@ -59,7 +59,9 @@ class RandomisedRunner:
             self.rng = rng
         else:
             if seed is None:
-                seed = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+                from .._env import env_int
+
+                seed = env_int("REPRO_SEED", 0)
             self.rng = random.Random(seed)
 
     def run_once(self) -> tuple:

@@ -15,7 +15,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.harness import CheckPipeline, run_table1
+from repro.harness import CheckPipeline
+from repro.harness.table1 import run_table1
 from repro.harness import pipeline as pipeline_module
 from repro.harness.checkpoint import CheckpointStore, _canon, job_digest
 from repro.harness.pipeline import run_job

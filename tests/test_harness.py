@@ -3,14 +3,11 @@
 import pytest
 
 from repro.enumeration import synthesise
-from repro.harness import (
-    run_figure7,
-    run_figures,
-    run_rtl_bug,
-    run_table1,
-    run_table2,
-)
+from repro.harness import run_figures, run_rtl_bug
 from repro.harness.cli import main as cli_main
+from repro.harness.figure7 import run_figure7
+from repro.harness.table1 import run_table1
+from repro.harness.table2 import run_table2
 
 
 @pytest.fixture(scope="module")

@@ -18,7 +18,8 @@ from hypothesis import strategies as st
 
 from repro.cat import load_cat_model
 from repro.enumeration import enumerate_executions, get_config
-from repro.harness import CheckPipeline, run_table1
+from repro.harness import CheckPipeline
+from repro.harness.table1 import run_table1
 from repro.models import get_model
 from repro.obs import REGISTRY, TRACER, reset_observability, stats_snapshot
 from repro.obs.metrics import (

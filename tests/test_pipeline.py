@@ -5,7 +5,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness import CheckPipeline, run_ablation, run_table1
+from repro.harness import CheckPipeline
+from repro.harness.ablation import run_ablation
+from repro.harness.table1 import run_table1
 from repro.harness.pipeline import hardware_for, model_for, run_job
 from repro.litmus import execution_to_litmus
 
